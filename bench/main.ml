@@ -1,0 +1,22 @@
+(* Reproduction harness: regenerates every table/figure series of the paper
+   (experiments E1-E16, see DESIGN.md) and runs the Bechamel timing benches.
+
+   Usage:
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- E4 E8        # selected experiments
+     dune exec bench/main.exe -- --no-timings # experiments only
+     dune exec bench/main.exe -- --timings    # timings only *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let timings_only = List.mem "--timings" args in
+  let no_timings = List.mem "--no-timings" args in
+  let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let chosen =
+    if selected = [] then Experiments.all
+    else List.filter (fun (id, _) -> List.mem id selected) Experiments.all
+  in
+  print_endline "Geometric Network Creation Games — reproduction harness";
+  print_endline "(paper: Bilo, Friedrich, Lenzner, Melnichenko, SPAA 2019)";
+  if not timings_only then List.iter (fun (_, f) -> f ()) chosen;
+  if (not no_timings) && selected = [] then Timings.run ()

@@ -1,0 +1,268 @@
+(* gncg: command-line front end for the Geometric Network Creation Games
+   engine.
+
+   Subcommands:
+     gncg sweep      — dynamics sweeps over random instances
+     gncg construct  — evaluate a paper construction
+     gncg cycles     — print the stored FIP-violation certificates
+     gncg br         — best-response engines on one random instance *)
+
+open Cmdliner
+
+let model_conv =
+  let parse = function
+    | "one-two" -> Ok (Gncg_workload.Instances.One_two { p_one = 0.4 })
+    | "tree" -> Ok (Gncg_workload.Instances.Tree { wmin = 1.0; wmax = 10.0 })
+    | "euclid" -> Ok (Gncg_workload.Instances.Euclid { norm = L2; d = 2; box = 100.0 })
+    | "l1" -> Ok (Gncg_workload.Instances.Euclid { norm = L1; d = 2; box = 100.0 })
+    | "graph" -> Ok (Gncg_workload.Instances.Graph_metric { p = 0.3; wmin = 1.0; wmax = 10.0 })
+    | "general" -> Ok (Gncg_workload.Instances.General { lo = 1.0; hi = 10.0 })
+    | "one-inf" -> Ok (Gncg_workload.Instances.One_inf { p = 0.3 })
+    | s -> Error (`Msg (Printf.sprintf "unknown model %S" s))
+  in
+  Arg.conv ~docv:"MODEL" (parse, fun fmt _ -> Format.fprintf fmt "<model>")
+
+let model_arg =
+  Arg.(value
+       & opt model_conv (Gncg_workload.Instances.Euclid { norm = L2; d = 2; box = 100.0 })
+       & info [ "model" ] ~doc:"one-two | tree | euclid | l1 | graph | general | one-inf")
+
+let alpha_arg = Arg.(value & opt float 2.0 & info [ "alpha" ] ~doc:"edge price factor")
+
+let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~doc:"number of agents")
+
+let seeds_arg = Arg.(value & opt int 5 & info [ "seeds" ] ~doc:"seeded repetitions")
+
+(* --- sweep ----------------------------------------------------------- *)
+
+let sweep model n alpha seeds format =
+  let runs =
+    List.init seeds (fun seed ->
+        Gncg_workload.Sweep.dynamics_run model ~n ~alpha ~seed:(seed + 1))
+  in
+  match format with
+  | "table" -> Gncg_workload.Report.print_runs runs
+  | "csv" -> print_string (Gncg_workload.Report.runs_to_csv runs)
+  | "json" -> print_endline (Gncg_workload.Report.runs_to_json runs)
+  | f ->
+    Printf.eprintf "unknown format %S (table | csv | json)\n" f;
+    exit 1
+
+let format_arg =
+  Arg.(value & opt string "table" & info [ "format" ] ~doc:"table | csv | json")
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"run response dynamics over random instances")
+    Term.(const sweep $ model_arg $ n_arg $ alpha_arg $ seeds_arg $ format_arg)
+
+(* --- construct -------------------------------------------------------- *)
+
+let construct which alpha n =
+  let report name host ne opt_graph extra =
+    let ne_cost = Gncg.Cost.social_cost host ne in
+    let opt_cost = Gncg.Cost.network_social_cost host opt_graph in
+    Printf.printf "%s (alpha=%g, agents=%d)\n" name alpha (Gncg.Host.n host);
+    Printf.printf "  equilibrium cost  %.4f\n" ne_cost;
+    Printf.printf "  optimum cost      %.4f\n" opt_cost;
+    Printf.printf "  ratio             %.4f\n" (ne_cost /. opt_cost);
+    List.iter (fun (k, v) -> Printf.printf "  %-17s %.4f\n" k v) extra
+  in
+  match which with
+  | "thm8" ->
+    let host = Gncg_constructions.Thm8_onetwo.host Alpha_one ~alpha:1.0 ~nb_centers:n ~nb_leaves:n in
+    report "Thm 8 star-of-stars (alpha=1 variant)" host
+      (Gncg_constructions.Thm8_onetwo.ne_profile Alpha_one ~nb_centers:n ~nb_leaves:n)
+      (Gncg_constructions.Thm8_onetwo.opt_network Alpha_one ~nb_centers:n ~nb_leaves:n)
+      [ ("limit", 1.5) ]
+  | "thm15" ->
+    let host = Gncg_constructions.Thm15_tree_star.host ~alpha ~n in
+    report "Thm 15 tree star" host
+      (Gncg_constructions.Thm15_tree_star.ne_profile ~alpha ~n)
+      (Gncg_constructions.Thm15_tree_star.opt_network ~alpha ~n)
+      [ ("limit (a+2)/2", Gncg.Quality.metric_upper alpha) ]
+  | "thm18" ->
+    let host = Gncg_constructions.Thm18_fourpoint.host ~alpha in
+    report "Thm 18 four points" host
+      (Gncg_constructions.Thm18_fourpoint.ne_profile ~alpha)
+      (Gncg_constructions.Thm18_fourpoint.opt_network ~alpha)
+      [ ("closed form", Gncg_constructions.Thm18_fourpoint.ratio_formula ~alpha) ]
+  | "thm19" ->
+    let d = max 1 (n / 2) in
+    let host = Gncg_constructions.Thm19_cross.host ~alpha ~d in
+    report (Printf.sprintf "Thm 19 l1 cross (d=%d)" d) host
+      (Gncg_constructions.Thm19_cross.ne_profile ~alpha ~d)
+      (Gncg_constructions.Thm19_cross.opt_network ~alpha ~d)
+      [ ("closed form", Gncg_constructions.Thm19_cross.ratio_formula ~alpha ~d) ]
+  | "lemma8" ->
+    let host = Gncg_constructions.Lemma8_path.host ~alpha ~n in
+    report "Lemma 8 line" host
+      (Gncg_constructions.Lemma8_path.ne_profile ~alpha ~n)
+      (Gncg_constructions.Lemma8_path.opt_network ~alpha ~n)
+      []
+  | "thm20" ->
+    Printf.printf "Thm 20 triangle (alpha=%g)\n" alpha;
+    Printf.printf "  actual NE/OPT     %.4f\n" (Gncg_constructions.Thm20_cycle.cost_ratio ~alpha);
+    Printf.printf "  per-pair sigma    %.4f\n"
+      (Gncg_constructions.Thm20_cycle.sigma_heavy_pair ~alpha)
+  | s ->
+    Printf.eprintf "unknown construction %S\n" s;
+    exit 1
+
+let which_arg =
+  Arg.(required
+       & pos 0 (some string) None
+       & info [] ~docv:"WHICH" ~doc:"thm8 | thm15 | thm18 | thm19 | lemma8 | thm20")
+
+let construct_with_save which alpha n save =
+  construct which alpha n;
+  match save with
+  | None -> ()
+  | Some prefix ->
+    let host, profile =
+      match which with
+      | "thm8" ->
+        ( Gncg_constructions.Thm8_onetwo.host Alpha_one ~alpha:1.0 ~nb_centers:n ~nb_leaves:n,
+          Gncg_constructions.Thm8_onetwo.ne_profile Alpha_one ~nb_centers:n ~nb_leaves:n )
+      | "thm15" ->
+        ( Gncg_constructions.Thm15_tree_star.host ~alpha ~n,
+          Gncg_constructions.Thm15_tree_star.ne_profile ~alpha ~n )
+      | "thm18" ->
+        (Gncg_constructions.Thm18_fourpoint.host ~alpha,
+         Gncg_constructions.Thm18_fourpoint.ne_profile ~alpha)
+      | "thm19" ->
+        let d = max 1 (n / 2) in
+        (Gncg_constructions.Thm19_cross.host ~alpha ~d,
+         Gncg_constructions.Thm19_cross.ne_profile ~alpha ~d)
+      | "lemma8" ->
+        (Gncg_constructions.Lemma8_path.host ~alpha ~n,
+         Gncg_constructions.Lemma8_path.ne_profile ~alpha ~n)
+      | _ ->
+        Printf.eprintf "--save is not supported for %S\n" which;
+        exit 1
+    in
+    Gncg.Serialize.host_to_file (prefix ^ ".host") host;
+    Gncg.Serialize.profile_to_file (prefix ^ ".profile") profile;
+    Printf.printf "wrote %s.host and %s.profile\n" prefix prefix
+
+let save_arg =
+  Arg.(value & opt (some string) None
+       & info [ "save" ] ~docv:"PREFIX" ~doc:"write PREFIX.host and PREFIX.profile")
+
+let construct_cmd =
+  Cmd.v
+    (Cmd.info "construct" ~doc:"evaluate a lower-bound construction of the paper")
+    Term.(const construct_with_save $ which_arg $ alpha_arg $ n_arg $ save_arg)
+
+(* --- check ---------------------------------------------------------------- *)
+
+let check_files host_path profile_path =
+  let host = Gncg.Serialize.host_of_file host_path in
+  let profile = Gncg.Serialize.profile_of_file profile_path in
+  if Gncg.Strategy.n profile <> Gncg.Host.n host then begin
+    Printf.eprintf "host has %d agents but profile has %d\n" (Gncg.Host.n host)
+      (Gncg.Strategy.n profile);
+    exit 1
+  end;
+  Printf.printf "agents            %d\n" (Gncg.Host.n host);
+  Printf.printf "metric host       %b\n" (Gncg_metric.Metric.is_metric (Gncg.Host.metric host));
+  Printf.printf "social cost       %.4f\n" (Gncg.Cost.social_cost host profile);
+  Printf.printf "add-only stable   %b\n" (Gncg.Equilibrium.is_ae host profile);
+  Printf.printf "greedy stable     %b\n" (Gncg.Equilibrium.is_ge host profile);
+  if Gncg.Host.n host <= 12 then begin
+    match Gncg.Equilibrium.certify Gncg.Equilibrium.NE host profile with
+    | Ok () -> print_endline "Nash equilibrium  true"
+    | Error grievances ->
+      print_endline "Nash equilibrium  false";
+      List.iter
+        (fun g -> Format.printf "  %a@." Gncg.Equilibrium.pp_grievance g)
+        grievances
+  end
+  else print_endline "Nash equilibrium  (skipped: host too large for the exact check)"
+
+let host_path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"HOST" ~doc:"host file")
+
+let profile_path_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"PROFILE" ~doc:"profile file")
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check" ~doc:"check equilibrium properties of a saved instance")
+    Term.(const check_files $ host_path_arg $ profile_path_arg)
+
+(* --- cycles ------------------------------------------------------------ *)
+
+let cycles () =
+  let show name (host, cycle) =
+    Printf.printf "%s: %d improving moves, certificate valid: %b\n" name
+      (List.length cycle - 1)
+      (Gncg_constructions.Brcycle.verify_cycle host cycle);
+    List.iteri (fun i p -> Format.printf "  state %d: %a@." i Gncg.Strategy.pp p) cycle
+  in
+  show "Fig 5-style tree-metric cycle (Thm 14)"
+    (Gncg_constructions.Brcycle.fig5_like_instance ());
+  show "Fig 8 l1 cycle (Thm 17)" (Gncg_constructions.Brcycle.fig8_cycle ())
+
+let cycles_cmd =
+  Cmd.v
+    (Cmd.info "cycles" ~doc:"print the stored improving-move cycles")
+    Term.(const cycles $ const ())
+
+(* --- br ----------------------------------------------------------------- *)
+
+let br model n alpha seed =
+  let rng = Gncg_util.Prng.create seed in
+  let host = Gncg_workload.Instances.random_host rng model ~n ~alpha in
+  let s = Gncg_workload.Instances.random_profile rng host in
+  Printf.printf "agent  current      exact BR     local (3-approx)\n";
+  for u = 0 to n - 1 do
+    let current = Gncg.Cost.agent_cost host s u in
+    let _, exact = Gncg.Best_response.exact host s u in
+    let _, local = Gncg.Best_response.local host s u in
+    Printf.printf "%5d  %-11.4f  %-11.4f  %-11.4f\n" u current exact local
+  done
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"instance seed")
+
+let br_cmd =
+  Cmd.v
+    (Cmd.info "br" ~doc:"compare best-response engines on one random instance")
+    Term.(const br $ model_arg $ n_arg $ alpha_arg $ seed_arg)
+
+(* --- stats --------------------------------------------------------------- *)
+
+let stats model n alpha seed =
+  let rng = Gncg_util.Prng.create seed in
+  let host = Gncg_workload.Instances.random_host rng model ~n ~alpha in
+  let module T = Gncg_util.Tablefmt in
+  let rows = ref [] in
+  let add name st = rows := (name :: Gncg.Net_stats.row st) :: !rows in
+  let opt_g, _ = Gncg.Social_optimum.best_known host in
+  add "optimum" (Gncg.Net_stats.of_network host opt_g);
+  let mst =
+    Gncg_graph.Wgraph.of_edges n
+      (Gncg_graph.Mst.prim_complete n (fun u v -> Gncg.Host.weight host u v))
+  in
+  add "mst" (Gncg.Net_stats.of_network host mst);
+  (match
+     Gncg.Dynamics.run ~max_steps:6000 ~rule:Gncg.Dynamics.Greedy_response
+       ~scheduler:Gncg.Dynamics.Round_robin host
+       (Gncg_workload.Instances.random_profile rng host)
+   with
+  | Gncg.Dynamics.Converged { profile; _ } ->
+    add "equilibrium" (Gncg.Net_stats.of_profile host profile)
+  | _ -> ());
+  T.print ~align:[ T.Left ] ~header:("design" :: Gncg.Net_stats.header) (List.rev !rows)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"network statistics of optimum / MST / equilibrium designs")
+    Term.(const stats $ model_arg $ n_arg $ alpha_arg $ seed_arg)
+
+let () =
+  let doc = "Geometric Network Creation Games engine" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "gncg" ~doc)
+          [ sweep_cmd; construct_cmd; cycles_cmd; br_cmd; stats_cmd; check_cmd ]))

@@ -1,0 +1,76 @@
+(* Fiber-network planning: the motivating scenario of the paper's
+   introduction.  Cities (clustered points in the plane) are connected by
+   fiber whose price is proportional to distance.  We compare
+
+   - the centrally designed network (social-optimum heuristic),
+   - the network selfish ISPs converge to (greedy response dynamics), and
+   - the theoretical worst case (alpha+2)/2 of Thm. 1,
+
+   across a range of alpha, and export the two extreme networks as DOT
+   files for inspection.
+
+   Run:  dune exec examples/fiber_plan.exe *)
+
+module Euclidean = Gncg_metric.Euclidean
+module T = Gncg_util.Tablefmt
+
+let n_cities = 14
+
+let () =
+  let rng = Gncg_util.Prng.create 7 in
+  let points =
+    Euclidean.random_clusters rng ~n:n_cities ~d:2 ~clusters:3 ~spread:4.0 ~box:100.0
+  in
+  let metric = Euclidean.metric L2 points in
+  Printf.printf "Fiber planning for %d cities in three metro clusters.\n\n" n_cities;
+  let rows =
+    List.map
+      (fun alpha ->
+        let host = Gncg.Host.make ~alpha metric in
+        let opt_g, opt_cost = Gncg.Social_optimum.greedy_heuristic host in
+        let start = Gncg.Strategy.of_graph_arbitrary_owners opt_g in
+        let stable, converged =
+          match
+            Gncg.Dynamics.run ~max_steps:4000 ~rule:Gncg.Dynamics.Greedy_response
+              ~scheduler:Gncg.Dynamics.Round_robin host start
+          with
+          | Gncg.Dynamics.Converged { profile; _ } -> (profile, true)
+          | Gncg.Dynamics.Cycle { profiles; _ } -> (List.hd profiles, false)
+          | Gncg.Dynamics.Out_of_steps { profile; _ } -> (profile, false)
+        in
+        let stable_cost = Gncg.Cost.social_cost host stable in
+        let g = Gncg.Network.graph host stable in
+        [
+          T.fl ~digits:2 alpha;
+          T.fl ~digits:0 opt_cost;
+          T.fl ~digits:0 stable_cost;
+          T.fl ~digits:3 (stable_cost /. opt_cost);
+          T.fl ~digits:3 (Gncg.Quality.metric_upper alpha);
+          string_of_int (Gncg_graph.Wgraph.m g);
+          (if converged then "yes" else "no");
+        ])
+      [ 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ]
+  in
+  T.print
+    ~header:[ "alpha"; "opt cost"; "selfish cost"; "ratio"; "(a+2)/2"; "edges"; "stable" ]
+    rows;
+  print_newline ();
+
+  (* Export one instance for inspection. *)
+  let alpha = 4.0 in
+  let host = Gncg.Host.make ~alpha metric in
+  let opt_g, _ = Gncg.Social_optimum.greedy_heuristic host in
+  let start = Gncg.Strategy.of_graph_arbitrary_owners opt_g in
+  (match
+     Gncg.Dynamics.run ~max_steps:4000 ~rule:Gncg.Dynamics.Greedy_response
+       ~scheduler:Gncg.Dynamics.Round_robin host start
+   with
+  | Gncg.Dynamics.Converged { profile; _ } ->
+    let g = Gncg.Network.graph host profile in
+    Gncg_graph.Dot.to_file "fiber_optimum.dot" opt_g;
+    Gncg_graph.Dot.to_file "fiber_selfish.dot" g;
+    print_endline "Wrote fiber_optimum.dot and fiber_selfish.dot (render with graphviz).";
+    Printf.printf "Selfish network stretch over the plane: %.3f (Lemma 1 bound: %.3f)\n"
+      (Gncg.Quality.host_stretch host g)
+      (Gncg.Quality.ae_spanner_stretch alpha)
+  | _ -> print_endline "dynamics did not converge at alpha=4; no DOT export")

@@ -1,0 +1,80 @@
+(* ISPs on a backbone: the T-GNCG scenario of Sec. 3.2.
+
+   The host metric is the shortest-path metric of a (given) backbone tree
+   — think of regional ISPs whose lease prices follow an existing duct
+   network.  The paper proves:
+
+   - Cor. 3: the backbone itself is both socially optimal and stable;
+   - Thm. 12: every equilibrium is a tree;
+   - Thm. 15: some equilibria cost (alpha+2)/2 times the optimum.
+
+   This example demonstrates all three on one instance.
+
+   Run:  dune exec examples/isp_tree.exe *)
+
+module Tree_metric = Gncg_metric.Tree_metric
+module T = Gncg_util.Tablefmt
+
+let () =
+  let alpha = 6.0 in
+  let n = 12 in
+  let rng = Gncg_util.Prng.create 99 in
+
+  (* A random backbone. *)
+  let backbone = Tree_metric.random rng ~n ~wmin:2.0 ~wmax:9.0 in
+  let host = Gncg.Host.make ~alpha (Tree_metric.metric backbone) in
+  let tree_g = Tree_metric.graph backbone in
+  Printf.printf "Backbone tree on %d ISPs, alpha = %g\n\n" n alpha;
+
+  (* Cor 3: backbone is stable and optimal. *)
+  let backbone_profile = Gncg.Strategy.of_tree_leaf_owned tree_g 0 in
+  Printf.printf "Backbone (leaf-owned) is a greedy equilibrium: %b\n"
+    (Gncg.Equilibrium.is_ge host backbone_profile);
+  let _, opt_cost = Gncg.Social_optimum.tree_optimum backbone host in
+  Printf.printf "Backbone social cost (= optimum by Cor 3): %.1f\n\n" opt_cost;
+
+  (* Thm 12: whatever the starting point, stable states are trees. *)
+  let outcomes =
+    List.init 6 (fun i ->
+        let r = Gncg_util.Prng.create (1000 + i) in
+        let start = Gncg_workload.Instances.random_profile r host in
+        match
+          Gncg.Dynamics.run ~max_steps:4000 ~rule:Gncg.Dynamics.Greedy_response
+            ~scheduler:Gncg.Dynamics.Round_robin host start
+        with
+        | Gncg.Dynamics.Converged { profile; rounds; _ } -> Some (profile, rounds)
+        | _ -> None)
+  in
+  print_endline "Greedy dynamics from six random starts:";
+  T.print
+    ~header:[ "start"; "stable"; "rounds"; "tree?"; "cost"; "cost/opt" ]
+    (List.mapi
+       (fun i o ->
+         match o with
+         | None -> [ string_of_int i; "no"; "-"; "-"; "-"; "-" ]
+         | Some (p, rounds) ->
+           let g = Gncg.Network.graph host p in
+           let c = Gncg.Cost.social_cost host p in
+           [
+             string_of_int i;
+             "yes";
+             string_of_int rounds;
+             (if Gncg_graph.Connectivity.is_tree g then "tree" else "NOT TREE");
+             T.fl ~digits:1 c;
+             T.fl ~digits:3 (c /. opt_cost);
+           ])
+       outcomes);
+
+  (* Thm 15: the adversarial star pushes the ratio to (alpha+2)/2. *)
+  print_newline ();
+  let worst_n = 64 in
+  let whost = Gncg_constructions.Thm15_tree_star.host ~alpha ~n:worst_n in
+  let wne = Gncg_constructions.Thm15_tree_star.ne_profile ~alpha ~n:worst_n in
+  let wopt = Gncg_constructions.Thm15_tree_star.opt_network ~alpha ~n:worst_n in
+  let ratio =
+    Gncg.Cost.social_cost whost wne /. Gncg.Cost.network_social_cost whost wopt
+  in
+  Printf.printf
+    "Worst-case tree metric (Thm 15, n=%d): stable/optimal = %.3f; limit (a+2)/2 = %.3f\n"
+    worst_n ratio
+    (Gncg.Quality.metric_upper alpha)

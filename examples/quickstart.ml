@@ -1,0 +1,59 @@
+(* Quickstart: five offices on a plane decide, selfishly, which direct
+   fiber links to lease.  We build the geometric host, let best-response
+   dynamics run, and compare the stable network with the social optimum.
+
+   Run:  dune exec examples/quickstart.exe *)
+
+module Euclidean = Gncg_metric.Euclidean
+module T = Gncg_util.Tablefmt
+
+let () =
+  (* 1. Agents are points in the plane; link prices are alpha x distance. *)
+  let points =
+    Euclidean.of_list
+      [ [ 0.0; 0.0 ]; [ 4.0; 0.0 ]; [ 4.0; 3.0 ]; [ 0.0; 3.0 ]; [ 2.0; 1.5 ] ]
+  in
+  let alpha = 2.0 in
+  let host = Gncg.Host.make ~alpha (Euclidean.metric L2 points) in
+  Printf.printf "Host: %d agents in R^2, alpha = %g\n\n" (Gncg.Host.n host) alpha;
+
+  (* 2. Start from an arbitrary connected network and let every agent play
+        exact best responses until nobody wants to deviate. *)
+  let rng = Gncg_util.Prng.create 2019 in
+  let start = Gncg_workload.Instances.random_profile rng host in
+  (match
+     Gncg.Dynamics.run ~max_steps:500 ~rule:Gncg.Dynamics.Best_response
+       ~scheduler:Gncg.Dynamics.Round_robin host start
+   with
+  | Gncg.Dynamics.Converged { profile; rounds; _ } ->
+    Printf.printf "Best-response dynamics converged in %d rounds.\n" rounds;
+    Printf.printf "Equilibrium is a Nash equilibrium: %b\n\n"
+      (Gncg.Equilibrium.is_ne host profile);
+    let g = Gncg.Network.graph host profile in
+    print_endline "Stable network (owner -> target, length):";
+    List.iter
+      (fun (u, v) -> Printf.printf "  %d -> %d   (%.2f)\n" u v (Gncg.Host.weight host u v))
+      (Gncg.Strategy.owned_edges profile);
+    Printf.printf "\nPer-agent costs:\n";
+    T.print
+      ~header:[ "agent"; "edge cost"; "distance cost"; "total" ]
+      (List.init (Gncg.Host.n host) (fun u ->
+           let p = Gncg.Cost.agent_parts host profile u in
+           [
+             string_of_int u;
+             T.fl ~digits:2 p.Gncg.Cost.edge;
+             T.fl ~digits:2 p.Gncg.Cost.dist;
+             T.fl ~digits:2 (p.Gncg.Cost.edge +. p.Gncg.Cost.dist);
+           ]));
+
+    (* 3. Compare with the social optimum. *)
+    let opt_g, opt_cost = Gncg.Social_optimum.best_known host in
+    let ne_cost = Gncg.Cost.social_cost host profile in
+    Printf.printf "\nSocial cost: stable = %.2f, optimum = %.2f, ratio = %.3f\n" ne_cost
+      opt_cost (ne_cost /. opt_cost);
+    Printf.printf "Paper bound (Thm 1): ratio <= (alpha+2)/2 = %.3f\n"
+      (Gncg.Quality.metric_upper alpha);
+    Printf.printf "Stable network: %d edges; optimum: %d edges\n"
+      (Gncg_graph.Wgraph.m g) (Gncg_graph.Wgraph.m opt_g)
+  | Gncg.Dynamics.Cycle _ -> print_endline "Dynamics cycled (no equilibrium reached)."
+  | Gncg.Dynamics.Out_of_steps _ -> print_endline "Dynamics did not settle in time.")

@@ -1,0 +1,31 @@
+module Euclidean = Gncg_metric.Euclidean
+module Wgraph = Gncg_graph.Wgraph
+
+let check alpha n =
+  if n < 1 then invalid_arg "Lemma8_path: n >= 1 required";
+  if alpha <= 0.0 then invalid_arg "Lemma8_path: alpha must be positive"
+
+let star_edge_weight ~alpha i =
+  if i = 0 then 0.0 else (1.0 +. (2.0 /. alpha)) ** float_of_int (i - 1)
+
+(* Positions are the prefix sums of the edge lengths; by the geometric-sum
+   identity they equal (1 + 2/α)^(i-1) for i >= 1. *)
+let positions ~alpha ~n =
+  check alpha n;
+  List.init (n + 1) (fun i -> star_edge_weight ~alpha i)
+
+let points ~alpha ~n = Euclidean.line (positions ~alpha ~n)
+
+let host ~alpha ~n = Gncg.Host.make ~alpha (Euclidean.metric L1 (points ~alpha ~n))
+
+let opt_network ~alpha ~n =
+  let pos = Array.of_list (positions ~alpha ~n) in
+  let g = Wgraph.create (n + 1) in
+  for i = 1 to n do
+    Wgraph.add_edge g (i - 1) i (pos.(i) -. pos.(i - 1))
+  done;
+  g
+
+let ne_profile ~alpha ~n =
+  check alpha n;
+  Gncg.Strategy.star (n + 1) ~center:0

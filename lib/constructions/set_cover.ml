@@ -1,0 +1,57 @@
+module Prng = Gncg_util.Prng
+
+type t = { universe : int; subsets : int list array }
+
+let make ~universe subsets =
+  if universe < 1 then invalid_arg "Set_cover.make: empty universe";
+  let clean s =
+    let s = List.sort_uniq compare s in
+    if s = [] then invalid_arg "Set_cover.make: empty subset";
+    List.iter
+      (fun e -> if e < 0 || e >= universe then invalid_arg "Set_cover.make: element range")
+      s;
+    s
+  in
+  let subsets = Array.of_list (List.map clean subsets) in
+  let covered = Array.make universe false in
+  Array.iter (List.iter (fun e -> covered.(e) <- true)) subsets;
+  if not (Array.for_all Fun.id covered) then
+    invalid_arg "Set_cover.make: subsets do not cover the universe";
+  { universe; subsets }
+
+let is_cover t indices =
+  let covered = Array.make t.universe false in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length t.subsets then invalid_arg "Set_cover.is_cover";
+      List.iter (fun e -> covered.(e) <- true) t.subsets.(i))
+    indices;
+  Array.for_all Fun.id covered
+
+let min_cover t =
+  let m = Array.length t.subsets in
+  if m > 20 then invalid_arg "Set_cover.min_cover: too many subsets";
+  let best = ref (List.init m Fun.id) in
+  for mask = 0 to (1 lsl m) - 1 do
+    let sel = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init m Fun.id) in
+    if List.length sel < List.length !best && is_cover t sel then best := sel
+  done;
+  !best
+
+let random rng ~universe ~nb_subsets =
+  if universe < 1 || nb_subsets < 1 then invalid_arg "Set_cover.random";
+  let subsets =
+    Array.init nb_subsets (fun _ ->
+        let size = 1 + Prng.int rng universe in
+        Prng.sample_without_replacement rng (min size universe) universe)
+  in
+  let covered = Array.make universe false in
+  Array.iter (List.iter (fun e -> covered.(e) <- true)) subsets;
+  Array.iteri
+    (fun e c ->
+      if not c then begin
+        let i = Prng.int rng nb_subsets in
+        subsets.(i) <- e :: subsets.(i)
+      end)
+    covered;
+  make ~universe (Array.to_list subsets |> List.map (fun s -> s))

@@ -1,0 +1,19 @@
+(** Minimum Set Cover instances — the source problem of the best-response
+    hardness reductions (Thms. 13 and 16). *)
+
+type t = { universe : int; subsets : int list array }
+(** Elements are [0 .. universe-1]; each subset is a sorted list. *)
+
+val make : universe:int -> int list list -> t
+(** Validates element ranges, deduplicates and sorts; requires non-empty
+    subsets whose union covers the universe. *)
+
+val is_cover : t -> int list -> bool
+(** Whether the given subset indices cover the universe. *)
+
+val min_cover : t -> int list
+(** Brute force over subset index sets (for cross-checks). *)
+
+val random : Gncg_util.Prng.t -> universe:int -> nb_subsets:int -> t
+(** Random instance: each subset draws a random non-empty sample; elements
+    missed by every subset are patched into random ones. *)

@@ -1,0 +1,82 @@
+module Euclidean = Gncg_metric.Euclidean
+module Strategy = Gncg.Strategy
+
+type params = { big_l : float; eps : float; beta : float }
+
+let default_params = { big_l = 100.0; eps = 0.001; beta = 1.0 }
+
+let check_params p ~k =
+  let kf = float_of_int k in
+  if not (p.big_l > 0.0 && p.eps > 0.0 && p.beta > 0.0) then
+    invalid_arg "Setcover_rd: parameters must be positive";
+  if p.beta <= kf *. p.eps then invalid_arg "Setcover_rd: need beta > k*eps";
+  if p.beta >= p.big_l /. 3.0 then invalid_arg "Setcover_rd: need beta < L/3"
+
+let nb_subsets (sc : Set_cover.t) = Array.length sc.Set_cover.subsets
+
+let game_size sc = 1 + (2 * nb_subsets sc) + sc.Set_cover.universe
+
+let u_agent = 0
+
+let subset_node sc i =
+  if i < 0 || i >= nb_subsets sc then invalid_arg "Setcover_rd.subset_node";
+  1 + i
+
+let blocker_node sc i =
+  if i < 0 || i >= nb_subsets sc then invalid_arg "Setcover_rd.blocker_node";
+  1 + nb_subsets sc + i
+
+let element_node sc j =
+  if j < 0 || j >= sc.Set_cover.universe then invalid_arg "Setcover_rd.element_node";
+  1 + (2 * nb_subsets sc) + j
+
+let polar r theta = [| r *. cos theta; r *. sin theta |]
+
+let points ?(params = default_params) sc =
+  check_params params ~k:sc.Set_cover.universe;
+  let m = nb_subsets sc in
+  let k = sc.Set_cover.universe in
+  (* Arc of Euclidean length eps at radius r spans angle eps/r. *)
+  let spread count idx total_angle =
+    if count <= 1 then 0.0 else total_angle *. float_of_int idx /. float_of_int (count - 1)
+  in
+  let pts = Array.make (game_size sc) [| 0.0; 0.0 |] in
+  pts.(u_agent) <- [| 0.0; 0.0 |];
+  for i = 0 to m - 1 do
+    let theta = spread m i (params.eps /. params.big_l) in
+    pts.(subset_node sc i) <- polar params.big_l theta;
+    (* Blockers sit on the opposite ray so d(b_i, a_i) = (L-β)/2 + L. *)
+    pts.(blocker_node sc i) <- polar (-.(params.big_l -. params.beta) /. 2.0) theta
+  done;
+  for j = 0 to k - 1 do
+    let theta = spread k j (params.eps /. (2.0 *. params.big_l)) in
+    pts.(element_node sc j) <- polar (2.0 *. params.big_l) theta
+  done;
+  pts
+
+let host ?params ?(norm = Euclidean.L2) sc =
+  Gncg.Host.make ~alpha:1.0 (Euclidean.metric norm (points ?params sc))
+
+let profile sc =
+  let m = nb_subsets sc in
+  let s = ref (Strategy.empty (game_size sc)) in
+  for i = 0 to m - 1 do
+    s := Strategy.buy !s (blocker_node sc i) u_agent;
+    s := Strategy.buy !s (blocker_node sc i) (subset_node sc i)
+  done;
+  for i = 0 to m - 1 do
+    List.iter
+      (fun j -> s := Strategy.buy !s (subset_node sc i) (element_node sc j))
+      sc.Set_cover.subsets.(i)
+  done;
+  !s
+
+let cover_of_strategy sc set =
+  let m = nb_subsets sc in
+  let indices = ref [] in
+  let ok = ref true in
+  Strategy.ISet.iter
+    (fun v ->
+      if v >= 1 && v < 1 + m then indices := (v - 1) :: !indices else ok := false)
+    set;
+  if !ok then Some (List.rev !indices) else None

@@ -1,0 +1,87 @@
+module Tree_metric = Gncg_metric.Tree_metric
+module Strategy = Gncg.Strategy
+
+type params = { big_l : float; eps : float; beta : float }
+
+let default_params = { big_l = 100.0; eps = 0.001; beta = 1.0 }
+
+let check_params p ~k =
+  let kf = float_of_int k in
+  if not (p.big_l > 0.0 && p.eps > 0.0 && p.beta > 0.0) then
+    invalid_arg "Setcover_tree: parameters must be positive";
+  if p.beta <= 2.0 *. kf *. p.eps then
+    invalid_arg "Setcover_tree: need beta > 2*k*eps";
+  if p.beta >= p.big_l /. 3.0 then invalid_arg "Setcover_tree: need beta < L/3";
+  if p.eps >= p.big_l /. 1000.0 then invalid_arg "Setcover_tree: need L >> eps"
+
+let nb_subsets (sc : Set_cover.t) = Array.length sc.Set_cover.subsets
+
+let game_size sc = 2 + (2 * nb_subsets sc) + sc.Set_cover.universe
+
+let u_agent = 0
+
+let c_hub = 1
+
+let subset_node sc i =
+  if i < 0 || i >= nb_subsets sc then invalid_arg "Setcover_tree.subset_node";
+  2 + i
+
+let blocker_node sc i =
+  if i < 0 || i >= nb_subsets sc then invalid_arg "Setcover_tree.blocker_node";
+  2 + nb_subsets sc + i
+
+let element_node sc j =
+  if j < 0 || j >= sc.Set_cover.universe then invalid_arg "Setcover_tree.element_node";
+  2 + (2 * nb_subsets sc) + j
+
+(* Each element hangs off the first subset containing it in the tree. *)
+let anchor_subset sc j =
+  let m = nb_subsets sc in
+  let rec find i =
+    if i >= m then invalid_arg "Setcover_tree: element uncovered"
+    else if List.mem j sc.Set_cover.subsets.(i) then i
+    else find (i + 1)
+  in
+  find 0
+
+let tree ?(params = default_params) sc =
+  check_params params ~k:sc.Set_cover.universe;
+  let m = nb_subsets sc in
+  let edges = ref [] in
+  edges := (c_hub, u_agent, params.big_l -. params.eps) :: !edges;
+  for i = 0 to m - 1 do
+    edges := (u_agent, blocker_node sc i, (params.big_l -. params.beta) /. 2.0) :: !edges;
+    edges := (c_hub, subset_node sc i, params.eps) :: !edges
+  done;
+  for j = 0 to sc.Set_cover.universe - 1 do
+    edges := (subset_node sc (anchor_subset sc j), element_node sc j, params.big_l) :: !edges
+  done;
+  Tree_metric.make (game_size sc) !edges
+
+let host ?params sc = Gncg.Host.make ~alpha:1.0 (Tree_metric.metric (tree ?params sc))
+
+let profile ?(params = default_params) sc =
+  check_params params ~k:sc.Set_cover.universe;
+  let m = nb_subsets sc in
+  let s = ref (Strategy.empty (game_size sc)) in
+  s := Strategy.buy !s c_hub u_agent;
+  for i = 0 to m - 1 do
+    s := Strategy.buy !s (blocker_node sc i) u_agent;
+    s := Strategy.buy !s (blocker_node sc i) (subset_node sc i)
+  done;
+  for i = 0 to m - 1 do
+    List.iter
+      (fun j -> s := Strategy.buy !s (subset_node sc i) (element_node sc j))
+      sc.Set_cover.subsets.(i)
+  done;
+  !s
+
+let cover_of_strategy sc set =
+  let m = nb_subsets sc in
+  let indices = ref [] in
+  let ok = ref true in
+  Strategy.ISet.iter
+    (fun v ->
+      if v >= 2 && v < 2 + m then indices := (v - 2) :: !indices else ok := false)
+    set;
+  if !ok then Some (List.rev !indices) else None

@@ -1,0 +1,27 @@
+module Tree_metric = Gncg_metric.Tree_metric
+
+let check alpha n =
+  if n < 3 then invalid_arg "Thm15_tree_star: n >= 3 required";
+  if alpha <= 0.0 then invalid_arg "Thm15_tree_star: alpha must be positive"
+
+let tree ~alpha ~n =
+  check alpha n;
+  Tree_metric.star n (fun i -> if i = 1 then 1.0 else 2.0 /. alpha)
+
+let host ~alpha ~n = Gncg.Host.make ~alpha (Tree_metric.metric (tree ~alpha ~n))
+
+let opt_network ~alpha ~n = Tree_metric.graph (tree ~alpha ~n)
+
+let ne_profile ~alpha ~n =
+  check alpha n;
+  Gncg.Strategy.star n ~center:1
+
+let opt_cost_formula ~alpha ~n =
+  let nf = float_of_int n in
+  ((2.0 *. nf) +. alpha -. 2.0) *. (((nf -. 2.0) *. 2.0 /. alpha) +. 1.0)
+
+let ne_cost_formula ~alpha ~n =
+  let nf = float_of_int n in
+  ((2.0 *. nf) +. alpha -. 2.0) *. (((nf -. 2.0) *. (1.0 +. (2.0 /. alpha))) +. 1.0)
+
+let ratio_limit ~alpha = (alpha +. 2.0) /. 2.0

@@ -1,0 +1,7 @@
+let host ~alpha = Lemma8_path.host ~alpha ~n:3
+
+let ne_profile ~alpha = Lemma8_path.ne_profile ~alpha ~n:3
+
+let opt_network ~alpha = Lemma8_path.opt_network ~alpha ~n:3
+
+let ratio_formula ~alpha = Gncg.Quality.fourpoint_lower alpha

@@ -1,0 +1,17 @@
+(** The four-point lower bound of Theorem 18.
+
+    The Lemma 8 line construction restricted to the points
+    [v_0 .. v_3] gives, for every p-norm with p >= 1 and every dimension,
+
+    PoA >= (3α³ + 24α² + 40α + 24) / (α³ + 10α² + 32α + 24).
+
+    The star centered at [v_0] is the equilibrium, the path the optimum. *)
+
+val host : alpha:float -> Gncg.Host.t
+
+val ne_profile : alpha:float -> Gncg.Strategy.t
+
+val opt_network : alpha:float -> Gncg_graph.Wgraph.t
+
+val ratio_formula : alpha:float -> float
+(** The closed form above. *)

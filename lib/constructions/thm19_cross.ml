@@ -1,0 +1,41 @@
+module Euclidean = Gncg_metric.Euclidean
+module Wgraph = Gncg_graph.Wgraph
+
+let check alpha d =
+  if d < 1 then invalid_arg "Thm19_cross: d >= 1 required";
+  if alpha <= 0.0 then invalid_arg "Thm19_cross: alpha must be positive"
+
+let size ~d = (2 * d) + 1
+
+let points ~alpha ~d =
+  check alpha d;
+  let r = 2.0 /. alpha in
+  let axis_point coord axis = Array.init d (fun i -> if i = axis then coord else 0.0) in
+  let n = size ~d in
+  Array.init n (fun v ->
+      if v = 0 then Array.make d 0.0
+      else if v = 1 then axis_point 1.0 0
+      else if v = 2 then axis_point (-.r) 0
+      else begin
+        (* v in [3 .. 2d]: points ±r·e_axis for axis in [1 .. d-1]. *)
+        let k = v - 3 in
+        let axis = 1 + (k / 2) in
+        let sign = if k mod 2 = 0 then 1.0 else -1.0 in
+        axis_point (sign *. r) axis
+      end)
+
+let host ~alpha ~d = Gncg.Host.make ~alpha (Euclidean.metric L1 (points ~alpha ~d))
+
+let opt_network ~alpha ~d =
+  let pts = points ~alpha ~d in
+  let g = Wgraph.create (size ~d) in
+  for v = 1 to size ~d - 1 do
+    Wgraph.add_edge g 0 v (Euclidean.dist L1 pts.(0) pts.(v))
+  done;
+  g
+
+let ne_profile ~alpha ~d =
+  check alpha d;
+  Gncg.Strategy.star (size ~d) ~center:1
+
+let ratio_formula ~alpha ~d = Gncg.Quality.cross_lower ~alpha ~d

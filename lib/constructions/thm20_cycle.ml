@@ -1,0 +1,31 @@
+module Wgraph = Gncg_graph.Wgraph
+module Metric = Gncg_metric.Metric
+
+let heavy alpha = (alpha +. 2.0) /. 2.0
+
+let host ~alpha =
+  let w u v =
+    match (min u v, max u v) with
+    | 0, 1 -> 0.0
+    | 1, 2 -> 1.0
+    | 0, 2 -> heavy alpha
+    | _ -> invalid_arg "Thm20_cycle.host"
+  in
+  Gncg.Host.make ~alpha (Metric.make 3 w)
+
+let opt_network ~alpha =
+  ignore alpha;
+  Wgraph.of_edges 3 [ (0, 1, 0.0); (1, 2, 1.0) ]
+
+let ne_network ~alpha = Wgraph.of_edges 3 [ (0, 1, 0.0); (0, 2, heavy alpha) ]
+
+let ne_profile ~alpha = Gncg.Ownership.find_ne (host ~alpha) (ne_network ~alpha)
+
+let sigma_heavy_pair ~alpha =
+  let h = heavy alpha in
+  h *. h
+
+let cost_ratio ~alpha =
+  let h = host ~alpha in
+  Gncg.Cost.network_social_cost h (ne_network ~alpha)
+  /. Gncg.Cost.network_social_cost h (opt_network ~alpha)

@@ -1,0 +1,92 @@
+module Wgraph = Gncg_graph.Wgraph
+module One_two = Gncg_metric.One_two
+
+type variant = Alpha_one | Alpha_mid
+
+let hub = 0
+
+let center ~nb_centers i =
+  if i < 1 || i > nb_centers then invalid_arg "Thm8_onetwo.center";
+  i
+
+let leaf ~nb_centers ~nb_leaves i j =
+  if j < 1 || j > nb_leaves then invalid_arg "Thm8_onetwo.leaf";
+  nb_centers + ((i - 1) * nb_leaves) + j
+
+let size ~nb_centers ~nb_leaves = 1 + nb_centers + (nb_centers * nb_leaves)
+
+let validate nb_centers nb_leaves =
+  if nb_centers < 2 || nb_leaves < 1 then
+    invalid_arg "Thm8_onetwo: need at least 2 centers and 1 leaf"
+
+(* 1-edges common to both variants: the clique, the stars, hub-to-centers. *)
+let base_one_edges ~nb_centers ~nb_leaves =
+  let acc = ref [] in
+  for i = 1 to nb_centers do
+    acc := (hub, center ~nb_centers i) :: !acc;
+    for i' = i + 1 to nb_centers do
+      acc := (center ~nb_centers i, center ~nb_centers i') :: !acc
+    done;
+    for j = 1 to nb_leaves do
+      acc := (center ~nb_centers i, leaf ~nb_centers ~nb_leaves i j) :: !acc
+    done
+  done;
+  !acc
+
+let hub_leaf_edges ~nb_centers ~nb_leaves =
+  let acc = ref [] in
+  for i = 1 to nb_centers do
+    for j = 1 to nb_leaves do
+      acc := (hub, leaf ~nb_centers ~nb_leaves i j) :: !acc
+    done
+  done;
+  !acc
+
+let one_edges variant ~nb_centers ~nb_leaves =
+  let base = base_one_edges ~nb_centers ~nb_leaves in
+  match variant with
+  | Alpha_one -> base @ hub_leaf_edges ~nb_centers ~nb_leaves
+  | Alpha_mid -> base
+
+let host variant ~alpha ~nb_centers ~nb_leaves =
+  validate nb_centers nb_leaves;
+  (match variant with
+  | Alpha_one ->
+    if alpha <> 1.0 then invalid_arg "Thm8_onetwo.host: Alpha_one requires alpha = 1"
+  | Alpha_mid ->
+    if alpha < 0.5 || alpha >= 1.0 then
+      invalid_arg "Thm8_onetwo.host: Alpha_mid requires 1/2 <= alpha < 1");
+  let n = size ~nb_centers ~nb_leaves in
+  Gncg.Host.make ~alpha (One_two.of_one_edges n (one_edges variant ~nb_centers ~nb_leaves))
+
+let ne_profile variant ~nb_centers ~nb_leaves =
+  validate nb_centers nb_leaves;
+  ignore variant;
+  (* Both variants stabilize the same network: every 1-edge of the
+     *left-hand* host (clique + stars + hub-to-centers). *)
+  let n = size ~nb_centers ~nb_leaves in
+  let s = ref (Gncg.Strategy.empty n) in
+  for i = 1 to nb_centers do
+    s := Gncg.Strategy.buy !s hub (center ~nb_centers i);
+    for i' = i + 1 to nb_centers do
+      s := Gncg.Strategy.buy !s (center ~nb_centers i) (center ~nb_centers i')
+    done;
+    for j = 1 to nb_leaves do
+      s := Gncg.Strategy.buy !s (center ~nb_centers i) (leaf ~nb_centers ~nb_leaves i j)
+    done
+  done;
+  !s
+
+let opt_network variant ~nb_centers ~nb_leaves =
+  validate nb_centers nb_leaves;
+  let n = size ~nb_centers ~nb_leaves in
+  let g = Wgraph.create n in
+  List.iter
+    (fun (u, v) -> Wgraph.add_edge g u v 1.0)
+    (one_edges variant ~nb_centers ~nb_leaves);
+  g
+
+let expected_ratio_limit variant ~alpha =
+  match variant with
+  | Alpha_one -> 1.5
+  | Alpha_mid -> 3.0 /. (alpha +. 2.0)

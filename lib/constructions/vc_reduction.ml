@@ -1,0 +1,72 @@
+module One_two = Gncg_metric.One_two
+module Strategy = Gncg.Strategy
+
+type instance = { nv : int; es : (int * int) list }
+
+let validate inst =
+  if inst.nv < 1 then invalid_arg "Vc_reduction: empty vertex set";
+  List.iter
+    (fun (a, b) ->
+      if a = b || a < 0 || b < 0 || a >= inst.nv || b >= inst.nv then
+        invalid_arg "Vc_reduction: bad edge")
+    inst.es
+
+let game_size inst = 1 + inst.nv + (2 * List.length inst.es)
+
+let u_agent _ = 0
+
+let vertex_node inst i =
+  if i < 0 || i >= inst.nv then invalid_arg "Vc_reduction.vertex_node";
+  1 + i
+
+let edge_nodes inst j =
+  if j < 0 || j >= List.length inst.es then invalid_arg "Vc_reduction.edge_nodes";
+  let base = 1 + inst.nv + (2 * j) in
+  (base, base + 1)
+
+let one_edges inst =
+  let acc = ref [] in
+  (* Clique on the vertex nodes. *)
+  for i = 0 to inst.nv - 1 do
+    for i' = i + 1 to inst.nv - 1 do
+      acc := (vertex_node inst i, vertex_node inst i') :: !acc
+    done
+  done;
+  (* Incidence edges to both copies of each edge node. *)
+  List.iteri
+    (fun j (a, b) ->
+      let p, p' = edge_nodes inst j in
+      acc := (vertex_node inst a, p) :: (vertex_node inst b, p)
+             :: (vertex_node inst a, p') :: (vertex_node inst b, p') :: !acc)
+    inst.es;
+  !acc
+
+let host inst =
+  validate inst;
+  Gncg.Host.make ~alpha:1.0 (One_two.of_one_edges (game_size inst) (one_edges inst))
+
+let is_cover inst cover =
+  List.for_all (fun (a, b) -> List.mem a cover || List.mem b cover) inst.es
+
+let profile inst ~cover =
+  validate inst;
+  if not (is_cover inst cover) then invalid_arg "Vc_reduction.profile: not a cover";
+  let s = ref (Strategy.empty (game_size inst)) in
+  List.iter
+    (fun (a, b) -> s := Strategy.buy !s (min a b) (max a b))
+    (one_edges inst);
+  List.iter (fun i -> s := Strategy.buy !s (u_agent inst) (vertex_node inst i)) cover;
+  !s
+
+let min_vertex_cover inst =
+  validate inst;
+  if inst.nv > 20 then invalid_arg "Vc_reduction.min_vertex_cover: too many vertices";
+  let best = ref (List.init inst.nv (fun i -> i)) in
+  for mask = 0 to (1 lsl inst.nv) - 1 do
+    let cover = List.filter (fun i -> mask land (1 lsl i) <> 0) (List.init inst.nv Fun.id) in
+    if List.length cover < List.length !best && is_cover inst cover then best := cover
+  done;
+  !best
+
+let u_cost_formula inst ~cover_size =
+  float_of_int ((3 * inst.nv) + (6 * List.length inst.es) + cover_size)

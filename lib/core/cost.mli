@@ -1,0 +1,36 @@
+(** Agent and social cost.
+
+    [cost(u, G(s)) = α · w(u, S_u) + Σ_v d_{G(s)}(u, v)];
+    the social cost is the sum over all agents.  Disconnected networks have
+    infinite cost. *)
+
+type parts = { edge : float; dist : float }
+
+val agent_edge_cost : Host.t -> Strategy.t -> int -> float
+(** [α · w(u, S_u)] — the price of everything [u] buys (including edges
+    also bought by the other side: both owners pay). *)
+
+val agent_dist_cost : ?graph:Gncg_graph.Wgraph.t -> Host.t -> Strategy.t -> int -> float
+(** [Σ_v d_{G(s)}(u, v)]; [infinity] if some agent is unreachable.  Pass
+    [graph] to reuse an already-built [G(s)]. *)
+
+val agent_cost : ?graph:Gncg_graph.Wgraph.t -> Host.t -> Strategy.t -> int -> float
+
+val agent_parts : ?graph:Gncg_graph.Wgraph.t -> Host.t -> Strategy.t -> int -> parts
+
+val social_cost : Host.t -> Strategy.t -> float
+
+val social_parts : Host.t -> Strategy.t -> parts
+
+val network_social_cost : Host.t -> Gncg_graph.Wgraph.t -> float
+(** Social cost of a network in which every edge is bought exactly once
+    (ownership does not matter for the total):
+    [α · Σ_e w(e) + Σ_u Σ_v d(u,v)]. *)
+
+val network_parts : Host.t -> Gncg_graph.Wgraph.t -> parts
+
+val social_cost_parallel : ?domains:int -> Host.t -> Strategy.t -> float
+(** [social_cost] with the per-agent distance sums split across OCaml 5
+    domains — the engine's hot loop on large hosts. *)
+
+val network_social_cost_parallel : ?domains:int -> Host.t -> Gncg_graph.Wgraph.t -> float

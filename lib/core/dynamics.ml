@@ -1,0 +1,113 @@
+module Flt = Gncg_util.Flt
+
+type rule =
+  | Best_response
+  | Greedy_response
+  | Add_only
+  | Random_improving of Gncg_util.Prng.t
+
+type scheduler = Round_robin | Random_order of Gncg_util.Prng.t
+
+type step = { mover : int; before_cost : float; after_cost : float }
+
+type outcome =
+  | Converged of { profile : Strategy.t; rounds : int; steps : step list }
+  | Cycle of { profiles : Strategy.t list; steps : step list }
+  | Out_of_steps of { profile : Strategy.t; steps : step list }
+
+let deviation ?(evaluator = `Reference) rule host s u =
+  let current = Cost.agent_cost host s u in
+  match rule with
+  | Best_response ->
+    let set, cost = Best_response.exact host s u in
+    if Flt.lt cost current then Some (Strategy.with_strategy s u set, current -. cost)
+    else None
+  | Greedy_response | Add_only ->
+    let kinds = match rule with Add_only -> [ `Add ] | _ -> [ `Add; `Delete; `Swap ] in
+    let best =
+      match evaluator with
+      | `Reference -> Greedy.best_move ~kinds host s ~agent:u
+      | `Fast -> Fast_response.best_move ~kinds host s ~agent:u
+    in
+    (match best with
+    | Some (mv, gain) -> Some (Move.apply s ~agent:u mv, gain)
+    | None -> None)
+  | Random_improving rng ->
+    let improving =
+      List.filter_map
+        (fun mv ->
+          let gain = Greedy.move_gain host s ~agent:u mv in
+          if gain > Flt.eps then Some (mv, gain) else None)
+        (Move.candidates host s ~agent:u)
+    in
+    (match improving with
+    | [] -> None
+    | _ ->
+      let arr = Array.of_list improving in
+      let mv, gain = arr.(Gncg_util.Prng.int rng (Array.length arr)) in
+      Some (Move.apply s ~agent:u mv, gain))
+
+let run ?(max_steps = 10_000) ?evaluator ~rule ~scheduler host start =
+  let n = Strategy.n start in
+  let seen = Hashtbl.create 97 in
+  (* Trace of profiles since the start, newest first, for cycle extraction.
+     A revisited profile certifies an improving-move cycle under any
+     scheduler: every recorded transition strictly improves its mover. *)
+  let trace = ref [ start ] in
+  Hashtbl.replace seen (Strategy.canonical_key start) 0;
+  let steps = ref [] in
+  let next_agent step_idx =
+    match scheduler with
+    | Round_robin -> step_idx mod n
+    | Random_order rng -> Gncg_util.Prng.int rng n
+  in
+  (* Convergence = every agent observed idle since the last move.  A plain
+     idle-streak counter is wrong under random scheduling (the same agent
+     can be drawn repeatedly). *)
+  let idle = Array.make n false in
+  let idle_count = ref 0 in
+  let mark_idle u =
+    if not idle.(u) then begin
+      idle.(u) <- true;
+      incr idle_count
+    end
+  in
+  let reset_idle () =
+    Array.fill idle 0 n false;
+    idle_count := 0
+  in
+  let rec go s step_idx =
+    if !idle_count >= n then
+      Converged { profile = s; rounds = step_idx / n; steps = List.rev !steps }
+    else if step_idx >= max_steps then
+      Out_of_steps { profile = s; steps = List.rev !steps }
+    else begin
+      let u = next_agent step_idx in
+      if idle.(u) then go s (step_idx + 1)
+      else
+      match deviation ?evaluator rule host s u with
+      | None ->
+        mark_idle u;
+        go s (step_idx + 1)
+      | Some (s', gain) ->
+        let before = Cost.agent_cost host s u in
+        steps := { mover = u; before_cost = before; after_cost = before -. gain } :: !steps;
+        let key = Strategy.canonical_key s' in
+        (match Hashtbl.find_opt seen key with
+        | Some _ ->
+          (* Extract the segment of the trace from the previous visit. *)
+          let rec take acc = function
+            | [] -> acc
+            | p :: rest ->
+              if Strategy.canonical_key p = key then p :: acc else take (p :: acc) rest
+          in
+          let cycle = take [] !trace in
+          Cycle { profiles = cycle @ [ s' ]; steps = List.rev !steps }
+        | None ->
+          Hashtbl.replace seen key (step_idx + 1);
+          trace := s' :: !trace;
+          reset_idle ();
+          go s' (step_idx + 1))
+    end
+  in
+  go start 0

@@ -1,0 +1,61 @@
+(** Sequential response dynamics.
+
+    Agents move one at a time.  The paper shows these dynamics need not
+    converge (no finite improvement property — Cor. 1, Thms. 14, 17):
+    the engine therefore detects both convergence and revisited profiles
+    (cycles). *)
+
+type rule =
+  | Best_response  (** exact best response (branch-and-bound) *)
+  | Greedy_response  (** best single add/delete/swap *)
+  | Add_only  (** best single add *)
+  | Random_improving of Gncg_util.Prng.t
+      (** a uniformly random improving single-edge move — the most
+          permissive improving dynamics, used when hunting for the
+          improving-move cycles of Thms. 14 and 17 *)
+
+type scheduler =
+  | Round_robin
+  | Random_order of Gncg_util.Prng.t
+      (** a fresh uniformly random agent each activation *)
+
+type step = { mover : int; before_cost : float; after_cost : float }
+
+type outcome =
+  | Converged of { profile : Strategy.t; rounds : int; steps : step list }
+      (** No agent can improve (w.r.t. the rule): a NE / GE / AE. *)
+  | Cycle of { profiles : Strategy.t list; steps : step list }
+      (** The profile sequence revisited a previous state, certifying an
+          improving-move cycle in the sense of the paper (a sequence of
+          improving moves starting and ending at the same strategy
+          vector) — every recorded transition strictly improves its mover,
+          so a revisit is a certificate under any scheduler.  [profiles]
+          lists the cycle states in order; the first and last entries are
+          equal. *)
+  | Out_of_steps of { profile : Strategy.t; steps : step list }
+
+val run :
+  ?max_steps:int ->
+  ?evaluator:[ `Reference | `Fast ] ->
+  rule:rule ->
+  scheduler:scheduler ->
+  Host.t ->
+  Strategy.t ->
+  outcome
+(** Runs until convergence, cycle detection or [max_steps] (default 10_000)
+    agent activations.  Convergence means a full pass over all agents
+    without an improving move.  [evaluator] selects the single-move engine
+    for [Greedy_response]/[Add_only]: the [`Reference] implementation
+    (default) or the incremental [`Fast] one — semantically equivalent
+    (property-tested) but faster on larger hosts; tie-breaking may differ
+    within float tolerance. *)
+
+val deviation :
+  ?evaluator:[ `Reference | `Fast ] ->
+  rule ->
+  Host.t ->
+  Strategy.t ->
+  int ->
+  (Strategy.t * float) option
+(** One improving deviation for an agent under the rule, with its gain:
+    the building block of [run], exposed for tests and tools. *)

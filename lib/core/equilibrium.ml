@@ -1,0 +1,95 @@
+module Flt = Gncg_util.Flt
+
+type kind = NE | GE | AE
+
+let kinds_of = function AE -> [ `Add ] | GE -> [ `Add; `Delete; `Swap ] | NE -> []
+
+let best_deviation_cost ?(oracle = `Branch_and_bound) kind host s u =
+  match kind with
+  | NE -> (
+    match oracle with
+    | `Branch_and_bound -> snd (Best_response.exact host s u)
+    | `Enumerate -> snd (Best_response.exact_enum host s u))
+  | GE | AE -> Greedy.best_single_move_cost ~kinds:(kinds_of kind) host s ~agent:u
+
+let agent_happy ?oracle kind host s u =
+  let current = Cost.agent_cost host s u in
+  let best = best_deviation_cost ?oracle kind host s u in
+  Flt.le current best
+
+let for_all_agents f s =
+  let n = Strategy.n s in
+  let rec go u = u >= n || (f u && go (u + 1)) in
+  go 0
+
+let is_ae host s = for_all_agents (agent_happy AE host s) s
+
+let is_ge host s = for_all_agents (agent_happy GE host s) s
+
+let is_ne ?oracle host s = for_all_agents (agent_happy ?oracle NE host s) s
+
+let is_equilibrium kind host s =
+  match kind with AE -> is_ae host s | GE -> is_ge host s | NE -> is_ne host s
+
+let agent_approx_factor kind host s u =
+  let current = Cost.agent_cost host s u in
+  let best = best_deviation_cost kind host s u in
+  if current = best then 1.0
+  else if best <= 0.0 then if current <= 0.0 then 1.0 else Float.infinity
+  else current /. best
+
+let approx_factor kind host s =
+  let n = Strategy.n s in
+  let worst = ref 1.0 in
+  for u = 0 to n - 1 do
+    worst := Float.max !worst (agent_approx_factor kind host s u)
+  done;
+  !worst
+
+let is_beta kind ~beta host s =
+  if beta < 1.0 then invalid_arg "Equilibrium.is_beta: beta < 1";
+  Flt.le (approx_factor kind host s) beta
+
+let unhappy_agents kind host s =
+  let n = Strategy.n s in
+  List.filter (fun u -> not (agent_happy kind host s u)) (List.init n (fun u -> u))
+
+type grievance = {
+  agent : int;
+  current_cost : float;
+  best_cost : float;
+  deviation : Strategy.ISet.t option;
+}
+
+let certify kind host s =
+  let n = Strategy.n s in
+  let grievances = ref [] in
+  for u = 0 to n - 1 do
+    let current = Cost.agent_cost host s u in
+    let best, deviation =
+      match kind with
+      | NE ->
+        let set, cost = Best_response.exact host s u in
+        (cost, Some set)
+      | GE | AE -> (Greedy.best_single_move_cost ~kinds:(kinds_of kind) host s ~agent:u, None)
+    in
+    if Flt.lt best current then
+      grievances := { agent = u; current_cost = current; best_cost = best; deviation } :: !grievances
+  done;
+  match !grievances with
+  | [] -> Ok ()
+  | gs ->
+    Error
+      (List.sort
+         (fun a b ->
+           Float.compare (b.current_cost -. b.best_cost) (a.current_cost -. a.best_cost))
+         gs)
+
+let pp_grievance fmt g =
+  Format.fprintf fmt "agent %d pays %.4f but could pay %.4f" g.agent g.current_cost
+    g.best_cost;
+  match g.deviation with
+  | Some set ->
+    Format.fprintf fmt " by buying {%s}"
+      (String.concat ", " (List.map string_of_int (Strategy.ISet.elements set)))
+  | None -> ()

@@ -1,0 +1,49 @@
+(** Equilibrium concepts of the paper (Sec. 1.1).
+
+    - NE: no agent has any improving strategy change;
+    - GE (greedy equilibrium): no agent improves by a single add, delete or
+      swap;
+    - AE (add-only equilibrium): no agent improves by a single add.
+
+    NE ⊆ GE ⊆ AE.  Each concept has a β-approximate version: no agent can
+    reduce her cost below [cost/β] with an allowed deviation. *)
+
+type kind = NE | GE | AE
+
+val is_ae : Host.t -> Strategy.t -> bool
+
+val is_ge : Host.t -> Strategy.t -> bool
+
+val is_ne : ?oracle:[ `Branch_and_bound | `Enumerate ] -> Host.t -> Strategy.t -> bool
+(** Exact Nash check via best responses; exponential.  The default oracle
+    is the branch-and-bound. *)
+
+val is_equilibrium : kind -> Host.t -> Strategy.t -> bool
+
+val agent_approx_factor : kind -> Host.t -> Strategy.t -> int -> float
+(** [cost(u) / best-deviation-cost(u)] for one agent (1 when already
+    optimal; can be below 1 only by tolerance). *)
+
+val approx_factor : kind -> Host.t -> Strategy.t -> float
+(** The smallest β such that the profile is a β-approximate equilibrium of
+    the given kind: the maximum of the per-agent factors. *)
+
+val is_beta : kind -> beta:float -> Host.t -> Strategy.t -> bool
+
+val unhappy_agents : kind -> Host.t -> Strategy.t -> int list
+(** Agents with an improving deviation of the given kind. *)
+
+type grievance = {
+  agent : int;
+  current_cost : float;
+  best_cost : float;
+  deviation : Strategy.ISet.t option;
+      (** the improving strategy for [NE]; [None] for single-move kinds *)
+}
+
+val certify : kind -> Host.t -> Strategy.t -> (unit, grievance list) result
+(** [Ok ()] when the profile is an equilibrium of the kind; otherwise the
+    per-agent evidence, sorted by decreasing improvement.  Powers the
+    human-readable reports of the CLI. *)
+
+val pp_grievance : Format.formatter -> grievance -> unit

@@ -1,0 +1,100 @@
+module Wgraph = Gncg_graph.Wgraph
+module Dijkstra = Gncg_graph.Dijkstra
+module Flt = Gncg_util.Flt
+
+(* Distance sum from the agent given the min-formula over an added edge
+   (u,v): d'(x) = min(d_u(x), w + d_v(x)). *)
+let dist_sum_with_added_edge d_u d_v w =
+  let n = Array.length d_u in
+  let per = Array.make n 0.0 in
+  for x = 0 to n - 1 do
+    per.(x) <- Float.min d_u.(x) (w +. d_v.(x))
+  done;
+  Flt.sum per
+
+let move_gains ?kinds host s ~agent =
+  let g = Network.graph host s in
+  let d_u = Dijkstra.sssp g agent in
+  let cur_dist = Flt.sum d_u in
+  let cur_edge = Cost.agent_edge_cost host s agent in
+  let cur_cost = cur_edge +. cur_dist in
+  let alpha = Host.alpha host in
+  (* SSSP cache for addition targets (the graph is unmodified there). *)
+  let sssp_cache = Hashtbl.create 16 in
+  let d_of v =
+    match Hashtbl.find_opt sssp_cache v with
+    | Some d -> d
+    | None ->
+      let d = Dijkstra.sssp g v in
+      Hashtbl.add sssp_cache v d;
+      d
+  in
+  (* The built edge (u,v) persists after u sells it iff v also buys it. *)
+  let edge_survives_sale v = Strategy.owns s v agent in
+  let gain_of = function
+    | Move.Add v ->
+      let w = Host.weight host agent v in
+      let cost' =
+        cur_edge +. (alpha *. w) +. dist_sum_with_added_edge d_u (d_of v) w
+      in
+      if cost' = cur_cost then 0.0 else cur_cost -. cost'
+    | Move.Delete v ->
+      let w = Host.weight host agent v in
+      if edge_survives_sale v then alpha *. w
+      else begin
+        Wgraph.remove_edge g agent v;
+        let dist' = Flt.sum (Dijkstra.sssp g agent) in
+        Wgraph.add_edge g agent v w;
+        let cost' = cur_edge -. (alpha *. w) +. dist' in
+        if cost' = cur_cost then 0.0 else cur_cost -. cost'
+      end
+    | Move.Swap (old_t, new_t) ->
+      let w_old = Host.weight host agent old_t in
+      let w_new = Host.weight host agent new_t in
+      let removed =
+        if edge_survives_sale old_t then false
+        else begin
+          Wgraph.remove_edge g agent old_t;
+          true
+        end
+      in
+      Wgraph.add_edge g agent new_t w_new;
+      let dist' = Flt.sum (Dijkstra.sssp g agent) in
+      Wgraph.remove_edge g agent new_t;
+      if removed then Wgraph.add_edge g agent old_t w_old;
+      let cost' = cur_edge +. (alpha *. (w_new -. w_old)) +. dist' in
+      if cost' = cur_cost then 0.0 else cur_cost -. cost'
+  in
+  List.map (fun mv -> (mv, gain_of mv)) (Move.candidates ?kinds host s ~agent)
+
+let best_move ?kinds host s ~agent =
+  List.fold_left
+    (fun acc (mv, gain) ->
+      match acc with
+      | Some (_, g) when g >= gain -> acc
+      | _ when gain > Flt.eps -> Some (mv, gain)
+      | _ -> acc)
+    None
+    (move_gains ?kinds host s ~agent)
+
+let round_add_gains host s =
+  let g = Network.graph host s in
+  let n = Strategy.n s in
+  let apsp = Dijkstra.apsp g in
+  let alpha = Host.alpha host in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    let cur_dist = Flt.sum apsp.(u) in
+    List.iter
+      (fun mv ->
+        match mv with
+        | Move.Add v ->
+          let w = Host.weight host u v in
+          let dist' = dist_sum_with_added_edge apsp.(u) apsp.(v) w in
+          let gain = cur_dist -. ((alpha *. w) +. dist') in
+          let gain = if Float.is_nan gain then 0.0 else gain in
+          if gain > Flt.eps then acc := (u, v, gain) :: !acc
+        | Move.Delete _ | Move.Swap _ -> ())
+      (Move.candidates ~kinds:[ `Add ] host s ~agent:u)
+  done;
+  List.rev !acc

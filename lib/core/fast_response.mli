@@ -1,0 +1,32 @@
+(** Optimized single-move evaluation.
+
+    [Greedy] re-builds the network and re-runs Dijkstra for every candidate
+    move — simple and obviously correct, but wasteful inside dynamics.
+    This module evaluates the same move set incrementally:
+
+    - the network is built once and edited in place (delete/swap), and
+    - additions use the exact identity
+      [d_{G+(u,v)}(u,x) = min(d_G(u,x), w(u,v) + d_G(v,x))]
+      (any shortest path from [u] through the new edge starts with it),
+      so each addition costs one Dijkstra pass on the *unmodified* graph.
+
+    Results are identical to [Greedy] up to tie-breaking; the equivalence
+    is covered by tests, and the speedup is measured in the bench
+    harness. *)
+
+val move_gains : ?kinds:[ `Add | `Delete | `Swap ] list -> Host.t -> Strategy.t -> agent:int -> (Move.t * float) list
+(** Gain of every coherent single-edge move for the agent (positive =
+    improving), in the order produced by [Move.candidates]. *)
+
+val best_move :
+  ?kinds:[ `Add | `Delete | `Swap ] list ->
+  Host.t ->
+  Strategy.t ->
+  agent:int ->
+  (Move.t * float) option
+(** Drop-in replacement for [Greedy.best_move]. *)
+
+val round_add_gains : Host.t -> Strategy.t -> (int * int * float) list
+(** [(agent, target, gain)] for every improving addition of every agent,
+    from a single all-pairs pass — the batch primitive for add-only
+    dynamics rounds. *)

@@ -1,0 +1,29 @@
+module Flt = Gncg_util.Flt
+
+let move_gain host s ~agent mv =
+  let before = Cost.agent_cost host s agent in
+  let after = Cost.agent_cost host (Move.apply s ~agent mv) agent in
+  (* Both costs can be infinite (disconnected before and after); treat the
+     gain as 0 rather than NaN. *)
+  if before = after then 0.0 else before -. after
+
+let fold_moves ?kinds host s ~agent f init =
+  List.fold_left
+    (fun acc mv -> f acc mv (move_gain host s ~agent mv))
+    init
+    (Move.candidates ?kinds host s ~agent)
+
+let best_move ?kinds host s ~agent =
+  let pick acc mv gain =
+    match acc with
+    | Some (_, g) when g >= gain -> acc
+    | _ when gain > Flt.eps -> Some (mv, gain)
+    | _ -> acc
+  in
+  fold_moves ?kinds host s ~agent pick None
+
+let best_single_move_cost ?kinds host s ~agent =
+  let current = Cost.agent_cost host s agent in
+  match best_move ?kinds host s ~agent with
+  | None -> current
+  | Some (_, gain) -> current -. gain

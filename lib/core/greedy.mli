@@ -1,0 +1,24 @@
+(** Greedy (single-edge) responses: the move set underlying Greedy
+    Equilibria and Add-only Equilibria. *)
+
+val move_gain : Host.t -> Strategy.t -> agent:int -> Move.t -> float
+(** Cost decrease of a move ([> 0] means improving). *)
+
+val best_move :
+  ?kinds:[ `Add | `Delete | `Swap ] list ->
+  Host.t ->
+  Strategy.t ->
+  agent:int ->
+  (Move.t * float) option
+(** The single-edge move with the largest strict improvement for the agent,
+    if any (tolerance-guarded).  [kinds] restricts the move set: use
+    [[`Add]] for add-only dynamics. *)
+
+val best_single_move_cost :
+  ?kinds:[ `Add | `Delete | `Swap ] list ->
+  Host.t ->
+  Strategy.t ->
+  agent:int ->
+  float
+(** The lowest cost the agent can reach with at most one single-edge move
+    (her current cost when nothing improves). *)

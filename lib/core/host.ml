@@ -1,0 +1,18 @@
+type t = { metric : Gncg_metric.Metric.t; alpha : float }
+
+let make ~alpha metric =
+  if alpha <= 0.0 || not (Float.is_finite alpha) then
+    invalid_arg "Host.make: alpha must be positive and finite";
+  { metric; alpha }
+
+let metric t = t.metric
+
+let alpha t = t.alpha
+
+let n t = Gncg_metric.Metric.n t.metric
+
+let weight t u v = Gncg_metric.Metric.weight t.metric u v
+
+let edge_price t u v = t.alpha *. weight t u v
+
+let with_alpha alpha t = make ~alpha t.metric

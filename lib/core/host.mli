@@ -1,0 +1,24 @@
+(** A game instance: a host space together with the edge-price parameter α.
+
+    The price of building edge [(u,v)] is [alpha * w(u,v)]; using it costs
+    its weight.  α trades off building cost against distance cost. *)
+
+type t
+
+val make : alpha:float -> Gncg_metric.Metric.t -> t
+(** Requires [alpha > 0]. *)
+
+val metric : t -> Gncg_metric.Metric.t
+
+val alpha : t -> float
+
+val n : t -> int
+
+val weight : t -> int -> int -> float
+(** Host weight of the pair. *)
+
+val edge_price : t -> int -> int -> float
+(** [alpha * weight]. *)
+
+val with_alpha : float -> t -> t
+(** Same host space, different α. *)

@@ -1,0 +1,21 @@
+(** Single-edge strategy changes: the moves of Greedy Equilibria (Lenzner).
+
+    A move is relative to one agent: buy one edge, delete one owned edge,
+    or swap one owned edge for a new one. *)
+
+type t =
+  | Add of int      (** buy the edge towards this agent *)
+  | Delete of int   (** stop buying the edge towards this agent *)
+  | Swap of int * int  (** [Swap (old_target, new_target)] *)
+
+val apply : Strategy.t -> agent:int -> t -> Strategy.t
+(** Raises [Invalid_argument] for incoherent moves (adding an owned target,
+    deleting or swapping an unowned one). *)
+
+val candidates : ?kinds:[ `Add | `Delete | `Swap ] list -> Host.t -> Strategy.t -> agent:int -> t list
+(** All coherent single-edge moves for the agent.  [Add v] is proposed only
+    when the edge [(u,v)] is absent from [G(s)] in both directions (buying
+    an edge the other side already owns can never strictly help) and the
+    host weight is finite.  [kinds] defaults to all three. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(** The built network [G(s)]: the subgraph of the host containing exactly
+    the bought edges, weighted by the host weights. *)
+
+val graph : Host.t -> Strategy.t -> Gncg_graph.Wgraph.t
+(** Build [G(s)].  Edges of infinite host weight are not materialized (they
+    can never be part of a finite-cost network; in the 1-∞ variant buying
+    one is simply a wasted purchase, which the cost module still charges). *)
+
+val distances_from : Host.t -> Strategy.t -> int -> float array
+(** Shortest-path distances in [G(s)] from one agent. *)
+
+val all_distances : Host.t -> Strategy.t -> float array array
+
+val is_connected : Host.t -> Strategy.t -> bool
+
+val diameter : Host.t -> Strategy.t -> float
+
+val to_dot : ?name:string -> Host.t -> Strategy.t -> string
+(** Graphviz digraph of the built network with ownership as edge
+    direction (owner → target) and host weights as labels; doubly-bought
+    edges appear once per owner. *)

@@ -1,0 +1,106 @@
+module Wgraph = Gncg_graph.Wgraph
+
+type summary = {
+  opt_cost : float;
+  best_ne_cost : float;
+  worst_ne_cost : float;
+  ne_count : int;
+}
+
+let finite_pairs host =
+  let n = Host.n host in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Float.is_finite (Host.weight host u v) then acc := (u, v) :: !acc
+    done
+  done;
+  Array.of_list (List.rev !acc)
+
+let enumerate_ne ?(max_pairs = 8) host =
+  let pairs = finite_pairs host in
+  let k = Array.length pairs in
+  if k > max_pairs then
+    invalid_arg
+      (Printf.sprintf "Price_of_stability.enumerate_ne: %d pairs exceed limit %d" k max_pairs);
+  let n = Host.n host in
+  (* Ownership state per pair: absent / owned by u / owned by v. *)
+  let total = int_of_float (3.0 ** float_of_int k) in
+  let result = ref [] in
+  for code = 0 to total - 1 do
+    let s = ref (Strategy.empty n) in
+    let c = ref code in
+    Array.iter
+      (fun (u, v) ->
+        (match !c mod 3 with
+        | 0 -> ()
+        | 1 -> s := Strategy.buy !s u v
+        | _ -> s := Strategy.buy !s v u);
+        c := !c / 3)
+      pairs;
+    if Equilibrium.is_ne host !s then result := !s :: !result
+  done;
+  List.rev !result
+
+let exact ?max_pairs host =
+  match enumerate_ne ?max_pairs host with
+  | [] -> None
+  | nes ->
+    let costs = List.map (Cost.social_cost host) nes in
+    let _, opt_cost = Social_optimum.best_known host in
+    Some
+      {
+        opt_cost;
+        best_ne_cost = List.fold_left Float.min Float.infinity costs;
+        worst_ne_cost = List.fold_left Float.max Float.neg_infinity costs;
+        ne_count = List.length nes;
+      }
+
+let run_to_stable ?(rule = Dynamics.Greedy_response) ?(max_steps = 5000) host start =
+  match Dynamics.run ~max_steps ~rule ~scheduler:Dynamics.Round_robin host start with
+  | Dynamics.Converged { profile; _ } -> Some (profile, Cost.social_cost host profile)
+  | Dynamics.Cycle _ | Dynamics.Out_of_steps _ -> None
+
+let cheapest_stable_via_dynamics ?rule ?(starts = 10) ?max_steps rng host =
+  let n = Host.n host in
+  let best = ref None in
+  for _ = 1 to starts do
+    (* Random spanning-tree-plus-extras start, as in the workload library
+       (re-implemented here to keep the core library dependency-free). *)
+    let order = Gncg_util.Prng.permutation rng n in
+    let s = ref (Strategy.empty n) in
+    for i = 1 to n - 1 do
+      let a = order.(i) and b = order.(Gncg_util.Prng.int rng i) in
+      if Gncg_util.Prng.bool rng then s := Strategy.buy !s a b else s := Strategy.buy !s b a
+    done;
+    match run_to_stable ?rule ?max_steps host !s with
+    | Some (p, c) -> (
+      match !best with
+      | Some (_, c') when c' <= c -> ()
+      | _ -> best := Some (p, c))
+    | None -> ()
+  done;
+  !best
+
+let stable_from_optimum ?rule ?max_steps host =
+  let opt_graph, _ = Social_optimum.best_known host in
+  if Wgraph.m opt_graph = 0 then None
+  else begin
+    let start =
+      if Gncg_graph.Connectivity.is_connected opt_graph then
+        Strategy.of_tree_leaf_owned
+          (Gncg_graph.Mst.kruskal_graph opt_graph)
+          0
+        |> fun tree_profile ->
+        (* Keep the full optimum edge set, not only its spanning tree:
+           orient each remaining edge towards its smaller endpoint. *)
+        Wgraph.edges opt_graph
+        |> List.fold_left
+             (fun s (u, v, _) ->
+               if Strategy.edge_in_network s u v then s
+               else Strategy.buy s (min u v) (max u v))
+             tree_profile
+      else Strategy.of_graph_arbitrary_owners opt_graph
+    in
+    run_to_stable ?rule ?max_steps host start
+  end

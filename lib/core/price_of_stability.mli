@@ -1,0 +1,47 @@
+(** Price of Stability: the cost ratio of the *best* equilibrium.
+
+    The paper's conclusion names PoS analysis as the natural next step
+    ("the next step should be to analyze the Price of Stability") and asks
+    how to guide agents to cheap stable states.  This module provides the
+    machinery: exhaustive equilibrium enumeration for tiny hosts, and two
+    constructive upper bounds — the cheapest stable state reachable by
+    dynamics from random starts, and from an orientation of the social
+    optimum ("opt-seeded" coordination, the protocol suggested by Cor. 3
+    where the optimum itself is stable on tree metrics). *)
+
+type summary = {
+  opt_cost : float;
+  best_ne_cost : float;
+  worst_ne_cost : float;
+  ne_count : int;
+}
+
+val enumerate_ne : ?max_pairs:int -> Host.t -> Strategy.t list
+(** All Nash equilibria whose profiles buy each edge at most once
+    (every NE is of this form: a double purchase is always sold).
+    Enumerates 3^pairs ownership states; refuses hosts with more than
+    [max_pairs] (default 8) finite-weight pairs. *)
+
+val exact : ?max_pairs:int -> Host.t -> summary option
+(** Exhaustive PoS/PoA data on a tiny host; [None] when no NE exists in
+    the enumerated space. *)
+
+val cheapest_stable_via_dynamics :
+  ?rule:Dynamics.rule ->
+  ?starts:int ->
+  ?max_steps:int ->
+  Gncg_util.Prng.t ->
+  Host.t ->
+  (Strategy.t * float) option
+(** The cheapest stable state reached by dynamics from [starts] random
+    profiles — an upper bound on the cost of the best reachable
+    equilibrium of the rule's kind. *)
+
+val stable_from_optimum :
+  ?rule:Dynamics.rule ->
+  ?max_steps:int ->
+  Host.t ->
+  (Strategy.t * float) option
+(** Orient the best known social optimum arbitrarily and let dynamics run:
+    if agents start at the coordinated optimum, how much is lost before
+    stability?  Returns the reached stable profile and its social cost. *)

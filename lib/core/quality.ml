@@ -1,0 +1,35 @@
+let social_ratio ~ne_cost ~opt_cost =
+  if opt_cost <= 0.0 then invalid_arg "Quality.social_ratio: non-positive optimum";
+  ne_cost /. opt_cost
+
+let metric_upper alpha = (alpha +. 2.0) /. 2.0
+
+let general_upper alpha =
+  let b = metric_upper alpha in
+  b *. b
+
+let onetwo_mid_poa alpha = 3.0 /. (alpha +. 2.0)
+
+let onetwo_alpha_one_poa = 1.5
+
+let fourpoint_lower alpha =
+  let a = alpha in
+  ((3.0 *. a *. a *. a) +. (24.0 *. a *. a) +. (40.0 *. a) +. 24.0)
+  /. ((a *. a *. a) +. (10.0 *. a *. a) +. (32.0 *. a) +. 24.0)
+
+let cross_lower ~alpha ~d =
+  if d < 1 then invalid_arg "Quality.cross_lower: d < 1";
+  1.0 +. (alpha /. (2.0 +. (alpha /. float_of_int ((2 * d) - 1))))
+
+let ae_ge_factor alpha = alpha +. 1.0
+
+let ge_ne_factor = 3.0
+
+let ae_ne_factor alpha = 3.0 *. (alpha +. 1.0)
+
+let ae_spanner_stretch alpha = alpha +. 1.0
+
+let opt_spanner_stretch alpha = (alpha /. 2.0) +. 1.0
+
+let host_stretch host g =
+  Gncg_graph.Spanner.stretch ~host:(fun u v -> Host.weight host u v) g

@@ -1,0 +1,47 @@
+(** Price-of-Anarchy machinery and the paper's closed-form bounds.
+
+    The Price of Anarchy is the worst ratio of an equilibrium's social cost
+    to the optimum's.  Experiments estimate it by exhibiting equilibria
+    (constructions or dynamics fixed points) and comparing against the best
+    known optimum; the closed forms below are the paper's bounds, used as
+    reference curves in every figure reproduction. *)
+
+val social_ratio : ne_cost:float -> opt_cost:float -> float
+(** [ne/opt]; raises on non-positive optimum. *)
+
+val metric_upper : float -> float
+(** Thm. 1: PoA <= (α+2)/2 in the M-GNCG. *)
+
+val general_upper : float -> float
+(** Thm. 20: PoA <= ((α+2)/2)^2 for arbitrary weights. *)
+
+val onetwo_mid_poa : float -> float
+(** Thm. 7+8: PoA = 3/(α+2) for 1/2 <= α < 1 on 1-2 hosts. *)
+
+val onetwo_alpha_one_poa : float
+(** Thm. 8+1: PoA = 3/2 at α = 1. *)
+
+val fourpoint_lower : float -> float
+(** Thm. 18: (3α³+24α²+40α+24)/(α³+10α²+32α+24). *)
+
+val cross_lower : alpha:float -> d:int -> float
+(** Thm. 19: 1 + α/(2 + α/(2d−1)) in (R^d, ℓ1). *)
+
+val ae_ge_factor : float -> float
+(** Thm. 2: any AE is an (α+1)-approximate GE. *)
+
+val ge_ne_factor : float
+(** Thm. 3: any GE is a 3-approximate NE. *)
+
+val ae_ne_factor : float -> float
+(** Cor. 2: any AE is a 3(α+1)-approximate NE. *)
+
+val ae_spanner_stretch : float -> float
+(** Lemma 1: any AE is an (α+1)-spanner of the host. *)
+
+val opt_spanner_stretch : float -> float
+(** Lemma 2: the social optimum is an (α/2+1)-spanner. *)
+
+val host_stretch : Host.t -> Gncg_graph.Wgraph.t -> float
+(** Maximum stretch of a network w.r.t. the host's shortest-path metric
+    (the spanner quantity of Lemmas 1 and 2). *)

@@ -1,0 +1,121 @@
+let float_to_string x =
+  if x = Float.infinity then "inf" else Printf.sprintf "%.17g" x
+
+let float_of_token line tok =
+  match tok with
+  | "inf" -> Float.infinity
+  | _ -> (
+    match float_of_string_opt tok with
+    | Some x -> x
+    | None -> failwith (Printf.sprintf "Serialize: bad number %S on line %d" tok line))
+
+let host_to_string host =
+  let n = Host.n host in
+  let buf = Buffer.create (16 * n * n) in
+  Buffer.add_string buf "gncg-host 1\n";
+  Buffer.add_string buf (Printf.sprintf "n %d\n" n);
+  Buffer.add_string buf (Printf.sprintf "alpha %s\n" (float_to_string (Host.alpha host)));
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let w = Host.weight host u v in
+      if Float.is_finite w then
+        Buffer.add_string buf (Printf.sprintf "w %d %d %s\n" u v (float_to_string w))
+    done
+  done;
+  Buffer.contents buf
+
+let lines_of s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+
+let fields l = String.split_on_char ' ' l |> List.filter (fun t -> t <> "")
+
+let expect_header lines magic =
+  match lines with
+  | (ln, first) :: rest ->
+    (match fields first with
+    | [ m; "1" ] when m = magic -> rest
+    | _ -> failwith (Printf.sprintf "Serialize: expected %S header on line %d" magic ln))
+  | [] -> failwith "Serialize: empty input"
+
+let parse_n lines =
+  match lines with
+  | (ln, l) :: rest -> (
+    match fields l with
+    | [ "n"; v ] -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> (n, rest)
+      | _ -> failwith (Printf.sprintf "Serialize: bad size on line %d" ln))
+    | _ -> failwith (Printf.sprintf "Serialize: expected size on line %d" ln))
+  | [] -> failwith "Serialize: missing size"
+
+let host_of_string s =
+  let lines = expect_header (lines_of s) "gncg-host" in
+  let n, lines = parse_n lines in
+  let alpha, lines =
+    match lines with
+    | (ln, l) :: rest -> (
+      match fields l with
+      | [ "alpha"; v ] -> (float_of_token ln v, rest)
+      | _ -> failwith (Printf.sprintf "Serialize: expected alpha on line %d" ln))
+    | [] -> failwith "Serialize: missing alpha"
+  in
+  let w = Array.make_matrix n n Float.infinity in
+  for i = 0 to n - 1 do
+    w.(i).(i) <- 0.0
+  done;
+  List.iter
+    (fun (ln, l) ->
+      match fields l with
+      | [ "w"; u; v; x ] -> (
+        match (int_of_string_opt u, int_of_string_opt v) with
+        | Some u, Some v when u >= 0 && v >= 0 && u < n && v < n && u <> v ->
+          let x = float_of_token ln x in
+          w.(u).(v) <- x;
+          w.(v).(u) <- x
+        | _ -> failwith (Printf.sprintf "Serialize: bad pair on line %d" ln))
+      | _ -> failwith (Printf.sprintf "Serialize: unexpected line %d: %s" ln l))
+    lines;
+  Host.make ~alpha (Gncg_metric.Metric.of_matrix w)
+
+let profile_to_string s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "gncg-profile 1\n";
+  Buffer.add_string buf (Printf.sprintf "n %d\n" (Strategy.n s));
+  List.iter
+    (fun (u, v) -> Buffer.add_string buf (Printf.sprintf "buy %d %d\n" u v))
+    (Strategy.owned_edges s);
+  Buffer.contents buf
+
+let profile_of_string str =
+  let lines = expect_header (lines_of str) "gncg-profile" in
+  let n, lines = parse_n lines in
+  List.fold_left
+    (fun s (ln, l) ->
+      match fields l with
+      | [ "buy"; u; v ] -> (
+        match (int_of_string_opt u, int_of_string_opt v) with
+        | Some u, Some v when u >= 0 && v >= 0 && u < n && v < n && u <> v ->
+          Strategy.buy s u v
+        | _ -> failwith (Printf.sprintf "Serialize: bad purchase on line %d" ln))
+      | _ -> failwith (Printf.sprintf "Serialize: unexpected line %d: %s" ln l))
+    (Strategy.empty n) lines
+
+let write_file path content =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let host_to_file path host = write_file path (host_to_string host)
+
+let host_of_file path = host_of_string (read_file path)
+
+let profile_to_file path s = write_file path (profile_to_string s)
+
+let profile_of_file path = profile_of_string (read_file path)

@@ -1,0 +1,40 @@
+(** Plain-text serialization of game instances and strategy profiles.
+
+    The format is line-oriented and stable, so experiment artifacts can be
+    saved, diffed and replayed:
+
+    {v
+    gncg-host 1
+    n 4
+    alpha 2.5
+    w 0 1 1.5
+    w 0 2 inf
+    ...
+    v}
+
+    Every finite pair appears once ([u < v]); omitted pairs default to
+    [inf].  Profiles:
+
+    {v
+    gncg-profile 1
+    n 4
+    buy 0 2
+    buy 3 1
+    v} *)
+
+val host_to_string : Host.t -> string
+
+val host_of_string : string -> Host.t
+(** Raises [Failure] with a line-precise message on malformed input. *)
+
+val profile_to_string : Strategy.t -> string
+
+val profile_of_string : string -> Strategy.t
+
+val host_to_file : string -> Host.t -> unit
+
+val host_of_file : string -> Host.t
+
+val profile_to_file : string -> Strategy.t -> unit
+
+val profile_of_file : string -> Strategy.t

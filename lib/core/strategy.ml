@@ -1,0 +1,110 @@
+module ISet = Set.Make (Int)
+module Wgraph = Gncg_graph.Wgraph
+
+type t = { size : int; sets : ISet.t array }
+
+let empty size =
+  if size < 0 then invalid_arg "Strategy.empty";
+  { size; sets = Array.make size ISet.empty }
+
+let n s = s.size
+
+let check s u name =
+  if u < 0 || u >= s.size then
+    invalid_arg (Printf.sprintf "Strategy.%s: agent %d out of range" name u)
+
+let strategy s u =
+  check s u "strategy";
+  s.sets.(u)
+
+let validate_target s u v name =
+  check s u name;
+  check s v name;
+  if u = v then invalid_arg (Printf.sprintf "Strategy.%s: agent %d buying towards itself" name u)
+
+let with_strategy s u set =
+  check s u "with_strategy";
+  ISet.iter (fun v -> validate_target s u v "with_strategy") set;
+  let sets = Array.copy s.sets in
+  sets.(u) <- set;
+  { s with sets }
+
+let of_lists size assoc =
+  List.fold_left
+    (fun acc (u, targets) ->
+      with_strategy acc u (ISet.of_list targets))
+    (empty size) assoc
+
+let buy s u v =
+  validate_target s u v "buy";
+  with_strategy s u (ISet.add v s.sets.(u))
+
+let sell s u v =
+  validate_target s u v "sell";
+  with_strategy s u (ISet.remove v s.sets.(u))
+
+let owns s u v =
+  check s u "owns";
+  ISet.mem v s.sets.(u)
+
+let edge_in_network s u v = owns s u v || owns s v u
+
+let owned_edges s =
+  let acc = ref [] in
+  Array.iteri (fun u set -> ISet.iter (fun v -> acc := (u, v) :: !acc) set) s.sets;
+  List.rev !acc
+
+let out_degree s u =
+  check s u "out_degree";
+  ISet.cardinal s.sets.(u)
+
+let double_bought s =
+  let acc = ref [] in
+  Array.iteri
+    (fun u set -> ISet.iter (fun v -> if u < v && owns s v u then acc := (u, v) :: !acc) set)
+    s.sets;
+  List.rev !acc
+
+let canonical_key s =
+  let buf = Buffer.create (16 * s.size) in
+  Array.iter
+    (fun set ->
+      ISet.iter (fun v -> Buffer.add_string buf (string_of_int v); Buffer.add_char buf ',') set;
+      Buffer.add_char buf ';')
+    s.sets;
+  Buffer.contents buf
+
+let equal a b = a.size = b.size && Array.for_all2 ISet.equal a.sets b.sets
+
+let of_tree_leaf_owned g root =
+  let size = Wgraph.n g in
+  if root < 0 || root >= size then invalid_arg "Strategy.of_tree_leaf_owned: bad root";
+  let hops = Gncg_graph.Bfs.hops g root in
+  let s = ref (empty size) in
+  Wgraph.iter_edges g (fun u v _ ->
+      match (hops.(u), hops.(v)) with
+      | -1, _ | _, -1 -> invalid_arg "Strategy.of_tree_leaf_owned: disconnected graph"
+      | hu, hv -> if hu > hv then s := buy !s u v else s := buy !s v u);
+  !s
+
+let of_graph_arbitrary_owners g =
+  let s = ref (empty (Wgraph.n g)) in
+  Wgraph.iter_edges g (fun u v _ -> s := buy !s (min u v) (max u v));
+  !s
+
+let star size ~center =
+  let s = ref (empty size) in
+  for v = 0 to size - 1 do
+    if v <> center then s := buy !s center v
+  done;
+  !s
+
+let pp fmt s =
+  Format.fprintf fmt "@[<v>profile n=%d" s.size;
+  Array.iteri
+    (fun u set ->
+      if not (ISet.is_empty set) then
+        Format.fprintf fmt "@,  %d buys {%s}" u
+          (String.concat ", " (List.map string_of_int (ISet.elements set))))
+    s.sets;
+  Format.fprintf fmt "@]"

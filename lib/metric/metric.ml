@@ -1,0 +1,131 @@
+module Wgraph = Gncg_graph.Wgraph
+module Flt = Gncg_util.Flt
+
+type t = { size : int; w : float array array }
+
+let check_weight x =
+  if Float.is_nan x || x < 0.0 then invalid_arg "Metric: weight must be non-negative"
+
+let make size f =
+  if size < 0 then invalid_arg "Metric.make: negative size";
+  let w = Array.make_matrix size size 0.0 in
+  for u = 0 to size - 1 do
+    for v = u + 1 to size - 1 do
+      let x = f u v in
+      check_weight x;
+      w.(u).(v) <- x;
+      w.(v).(u) <- x
+    done
+  done;
+  { size; w }
+
+let of_matrix m =
+  let size = Array.length m in
+  Array.iter
+    (fun row -> if Array.length row <> size then invalid_arg "Metric.of_matrix: non-square")
+    m;
+  for u = 0 to size - 1 do
+    for v = u + 1 to size - 1 do
+      if m.(u).(v) <> m.(v).(u) then invalid_arg "Metric.of_matrix: asymmetric"
+    done
+  done;
+  make size (fun u v -> m.(u).(v))
+
+let n h = h.size
+
+let weight h u v =
+  if u < 0 || u >= h.size || v < 0 || v >= h.size then
+    invalid_arg "Metric.weight: vertex out of range";
+  h.w.(u).(v)
+
+let to_matrix h = Array.map Array.copy h.w
+
+let triangle_violations ?(tol = Flt.eps) h =
+  let acc = ref [] in
+  for u = 0 to h.size - 1 do
+    for v = u + 1 to h.size - 1 do
+      for x = 0 to h.size - 1 do
+        if x <> u && x <> v && h.w.(u).(v) > h.w.(u).(x) +. h.w.(x).(v) +. tol then
+          acc := (u, v, x) :: !acc
+      done
+    done
+  done;
+  List.rev !acc
+
+let is_metric ?(tol = Flt.eps) h =
+  let positive = ref true in
+  for u = 0 to h.size - 1 do
+    for v = u + 1 to h.size - 1 do
+      if h.w.(u).(v) <= 0.0 || not (Float.is_finite h.w.(u).(v)) then positive := false
+    done
+  done;
+  !positive && triangle_violations ~tol h = []
+
+let metric_closure h = { size = h.size; w = Gncg_graph.Floyd_warshall.run h.w }
+
+let of_graph_closure g =
+  { size = Wgraph.n g; w = Gncg_graph.Floyd_warshall.closure_of_graph g }
+
+let complete_graph h =
+  let g = Wgraph.create h.size in
+  for u = 0 to h.size - 1 do
+    for v = u + 1 to h.size - 1 do
+      if Float.is_finite h.w.(u).(v) then Wgraph.add_edge g u v h.w.(u).(v)
+    done
+  done;
+  g
+
+let scale c h =
+  if c <= 0.0 then invalid_arg "Metric.scale: non-positive factor";
+  make h.size (fun u v -> c *. h.w.(u).(v))
+
+let perturb rng ~magnitude h =
+  if magnitude < 0.0 then invalid_arg "Metric.perturb: negative magnitude";
+  make h.size (fun u v ->
+      if Float.is_finite h.w.(u).(v) then h.w.(u).(v) +. Gncg_util.Prng.float rng magnitude
+      else h.w.(u).(v))
+
+let min_weight h =
+  let best = ref Float.infinity in
+  for u = 0 to h.size - 1 do
+    for v = u + 1 to h.size - 1 do
+      best := Float.min !best h.w.(u).(v)
+    done
+  done;
+  if !best = Float.infinity then 0.0 else !best
+
+let max_finite_weight h =
+  let best = ref 0.0 in
+  for u = 0 to h.size - 1 do
+    for v = u + 1 to h.size - 1 do
+      if Float.is_finite h.w.(u).(v) then best := Float.max !best h.w.(u).(v)
+    done
+  done;
+  !best
+
+let equal ?(tol = Flt.eps) a b =
+  a.size = b.size
+  && begin
+       let ok = ref true in
+       for u = 0 to a.size - 1 do
+         for v = u + 1 to a.size - 1 do
+           let x = a.w.(u).(v) and y = b.w.(u).(v) in
+           let same =
+             if Float.is_finite x && Float.is_finite y then Flt.approx_eq ~tol x y
+             else x = y
+           in
+           if not same then ok := false
+         done
+       done;
+       !ok
+     end
+
+let pp fmt h =
+  Format.fprintf fmt "@[<v>host n=%d" h.size;
+  for u = 0 to h.size - 1 do
+    Format.fprintf fmt "@,  ";
+    for v = 0 to h.size - 1 do
+      Format.fprintf fmt "%8.3f " h.w.(u).(v)
+    done
+  done;
+  Format.fprintf fmt "@]"

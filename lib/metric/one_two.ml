@@ -1,0 +1,53 @@
+module Wgraph = Gncg_graph.Wgraph
+
+let of_one_edges size ones =
+  let tbl = Hashtbl.create (List.length ones) in
+  List.iter
+    (fun (u, v) ->
+      if u = v then invalid_arg "One_two.of_one_edges: self-loop";
+      Hashtbl.replace tbl (min u v, max u v) ())
+    ones;
+  Metric.make size (fun u v -> if Hashtbl.mem tbl (min u v, max u v) then 1.0 else 2.0)
+
+let random rng ~n ~p_one =
+  Metric.make n (fun _ _ -> if Gncg_util.Prng.coin rng p_one then 1.0 else 2.0)
+
+let is_one_two h =
+  let ok = ref true in
+  let n = Metric.n h in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let w = Metric.weight h u v in
+      if w <> 1.0 && w <> 2.0 then ok := false
+    done
+  done;
+  !ok
+
+let one_edges h =
+  let acc = ref [] in
+  let n = Metric.n h in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Metric.weight h u v = 1.0 then acc := (u, v) :: !acc
+    done
+  done;
+  List.rev !acc
+
+let one_subgraph h =
+  let g = Wgraph.create (Metric.n h) in
+  List.iter (fun (u, v) -> Wgraph.add_edge g u v 1.0) (one_edges h);
+  g
+
+let has_one_one_two_triangle h g =
+  let n = Metric.n h in
+  let found = ref false in
+  Wgraph.iter_edges g (fun u v w ->
+      if w = 2.0 then
+        for x = 0 to n - 1 do
+          if
+            x <> u && x <> v
+            && Wgraph.weight g u x = Some 1.0
+            && Wgraph.weight g x v = Some 1.0
+          then found := true
+        done);
+  !found

@@ -1,0 +1,14 @@
+(** Random host generators for the general (not necessarily metric) GNCG
+    and for random metric instances. *)
+
+val uniform : Gncg_util.Prng.t -> n:int -> lo:float -> hi:float -> Metric.t
+(** Independent uniform weights — generally violates the triangle
+    inequality: a general-GNCG workload. *)
+
+val uniform_metric : Gncg_util.Prng.t -> n:int -> lo:float -> hi:float -> Metric.t
+(** Metric closure of a uniform host: a random (graph-)metric workload. *)
+
+val random_graph_metric :
+  Gncg_util.Prng.t -> n:int -> p:float -> wmin:float -> wmax:float -> Metric.t
+(** Metric closure of a connected Erdős–Rényi graph with uniform weights:
+    the "graph metric" workloads of the paper's M-GNCG. *)

@@ -1,0 +1,21 @@
+(** Weighted betweenness centrality (Brandes' algorithm).
+
+    The proof of Lemma 8 computes a network's total distance cost by
+    counting, for every edge, the number of shortest paths crossing it —
+    its (unnormalized) edge betweenness.  This module provides both vertex
+    and edge betweenness, plus the distance-cost identity used there. *)
+
+val vertex : Wgraph.t -> float array
+(** Unnormalized vertex betweenness: for each [v], the sum over ordered
+    pairs [(s,t)], [s <> v <> t], of the fraction of shortest [s–t] paths
+    through [v]. *)
+
+val edge : Wgraph.t -> ((int * int) * float) list
+(** Unnormalized edge betweenness for every edge ([u < v]): the sum over
+    ordered pairs of the fraction of shortest paths using the edge. *)
+
+val distance_cost_via_betweenness : Wgraph.t -> float
+(** [Σ_{(s,t)} d(s,t)] computed as [Σ_e w(e) · betweenness(e)] — every
+    ordered pair contributes its distance spread over the edges of its
+    shortest paths (fractionally when there are several).  Equals the
+    direct all-pairs sum; infinite when the graph is disconnected. *)

@@ -1,0 +1,17 @@
+(** Connectivity queries and bridge (cut-edge) detection. *)
+
+val is_connected : Wgraph.t -> bool
+
+val components : Wgraph.t -> int list list
+(** Connected components as vertex lists. *)
+
+val component_count : Wgraph.t -> int
+
+val bridges : Wgraph.t -> (int * int) list
+(** Cut edges [(u,v)] with [u < v]: removing one disconnects its component.
+    Tarjan's low-link algorithm, O(n + m). *)
+
+val is_tree : Wgraph.t -> bool
+(** Connected with exactly n-1 edges. *)
+
+val is_forest : Wgraph.t -> bool

@@ -1,0 +1,34 @@
+(** Shortest paths on weighted graphs (non-negative weights).
+
+    Distances use [Float.infinity] for unreachable vertices, matching the
+    paper's convention that a disconnected agent has infinite distance
+    cost. *)
+
+val sssp : Wgraph.t -> int -> float array
+(** [sssp g s] is the array of shortest-path distances from [s]. *)
+
+val sssp_with_parents : Wgraph.t -> int -> float array * int array
+(** Also returns a shortest-path-tree parent array ([-1] for the source and
+    unreachable vertices). *)
+
+val sssp_bounded : Wgraph.t -> int -> float -> float array
+(** [sssp_bounded g s limit] stops settling vertices once the frontier
+    exceeds [limit]; distances beyond it are reported as infinity.  Used by
+    the greedy spanner where only "is d(u,v) <= t*w" matters. *)
+
+val distance : Wgraph.t -> int -> int -> float
+
+val apsp : Wgraph.t -> float array array
+(** All-pairs shortest paths by repeated Dijkstra: O(n (m + n log n)). *)
+
+val apsp_parallel : ?domains:int -> Wgraph.t -> float array array
+(** Same result with the sources split across OCaml 5 domains.  The graph
+    must not be mutated concurrently. *)
+
+val path : Wgraph.t -> int -> int -> int list option
+(** Vertex sequence of one shortest path from [u] to [v], inclusive. *)
+
+val eccentricity : Wgraph.t -> int -> float
+
+val diameter : Wgraph.t -> float
+(** Infinite when the graph is disconnected, 0 for n <= 1. *)

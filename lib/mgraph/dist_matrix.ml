@@ -1,0 +1,76 @@
+type t = { n : int; d : float array array }
+
+let of_matrix m =
+  let n = Array.length m in
+  Array.iter
+    (fun row -> if Array.length row <> n then invalid_arg "Dist_matrix.of_matrix: non-square")
+    m;
+  { n; d = Array.map Array.copy m }
+
+let of_graph g = { n = Wgraph.n g; d = Dijkstra.apsp g }
+
+let size t = t.n
+
+let check t u name =
+  if u < 0 || u >= t.n then invalid_arg (Printf.sprintf "Dist_matrix.%s: out of range" name)
+
+let distance t u v =
+  check t u "distance";
+  check t v "distance";
+  t.d.(u).(v)
+
+let total t =
+  let acc = ref 0.0 in
+  for x = 0 to t.n - 1 do
+    acc := !acc +. Gncg_util.Flt.sum t.d.(x)
+  done;
+  !acc
+
+let copy t = { n = t.n; d = Array.map Array.copy t.d }
+
+(* min over the three routings; written to avoid inf arithmetic pitfalls
+   (inf + finite = inf is fine; no inf - inf appears). *)
+let relaxed d x y du dv w =
+  let via_uv = du.(x) +. w +. dv.(y) in
+  let via_vu = dv.(x) +. w +. du.(y) in
+  Float.min d (Float.min via_uv via_vu)
+
+let add_edge t u v w =
+  check t u "add_edge";
+  check t v "add_edge";
+  if u = v then invalid_arg "Dist_matrix.add_edge: self-loop";
+  if w < 0.0 || Float.is_nan w then invalid_arg "Dist_matrix.add_edge: negative weight";
+  if w < t.d.(u).(v) then begin
+    let du = Array.copy t.d.(u) and dv = Array.copy t.d.(v) in
+    for x = 0 to t.n - 1 do
+      let row = t.d.(x) in
+      for y = 0 to t.n - 1 do
+        row.(y) <- relaxed row.(y) x y du dv w
+      done
+    done
+  end
+
+let with_edge_added t u v w =
+  let t' = copy t in
+  add_edge t' u v w;
+  t'
+
+let total_with_edge_added t u v w =
+  check t u "total_with_edge_added";
+  check t v "total_with_edge_added";
+  if w >= t.d.(u).(v) then total t
+  else begin
+    let du = t.d.(u) and dv = t.d.(v) in
+    let acc = ref 0.0 in
+    let any_inf = ref false in
+    for x = 0 to t.n - 1 do
+      let row = t.d.(x) in
+      let row_sum = ref 0.0 in
+      for y = 0 to t.n - 1 do
+        let d = relaxed row.(y) x y du dv w in
+        if d = Float.infinity then any_inf := true else row_sum := !row_sum +. d
+      done;
+      acc := !acc +. !row_sum
+    done;
+    if !any_inf then Float.infinity else !acc
+  end

@@ -1,0 +1,36 @@
+(** Dense all-pairs distance matrices with exact O(n²) edge-insertion
+    updates.
+
+    The social-optimum local search evaluates hundreds of candidate edge
+    additions per step; re-running all-pairs Dijkstra for each is wasteful
+    when the insertion update
+    [d'(x,y) = min(d(x,y), d(x,u)+w+d(v,y), d(x,v)+w+d(u,y))]
+    is exact.  (Deletions can only be handled by recomputation.) *)
+
+type t
+
+val of_graph : Wgraph.t -> t
+(** All-pairs distances of the graph (infinity across components). *)
+
+val of_matrix : float array array -> t
+(** Adopts (copies) an existing distance matrix; trusted as-is. *)
+
+val size : t -> int
+
+val distance : t -> int -> int -> float
+
+val total : t -> float
+(** Sum over ordered pairs; infinite if any pair is disconnected. *)
+
+val copy : t -> t
+
+val add_edge : t -> int -> int -> float -> unit
+(** In-place exact update for inserting edge [(u,v)] of weight [w >= 0].
+    A no-op when the new edge cannot improve any distance. *)
+
+val with_edge_added : t -> int -> int -> float -> t
+(** Functional version of {!add_edge}. *)
+
+val total_with_edge_added : t -> int -> int -> float -> float
+(** [total (with_edge_added m u v w)] without materializing the updated
+    matrix — the O(n²) inner loop of the optimizer. *)

@@ -1,0 +1,33 @@
+let run w =
+  let n = Array.length w in
+  let d = Array.init n (fun i ->
+      if Array.length w.(i) <> n then invalid_arg "Floyd_warshall.run: non-square matrix";
+      Array.copy w.(i))
+  in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0.0
+  done;
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let dik = d.(i).(k) in
+      if dik < Float.infinity then
+        for j = 0 to n - 1 do
+          let alt = dik +. d.(k).(j) in
+          if alt < d.(i).(j) then d.(i).(j) <- alt
+        done
+    done
+  done;
+  d
+
+let of_graph g =
+  let n = Wgraph.n g in
+  let w = Array.make_matrix n n Float.infinity in
+  for i = 0 to n - 1 do
+    w.(i).(i) <- 0.0
+  done;
+  Wgraph.iter_edges g (fun u v x ->
+      w.(u).(v) <- x;
+      w.(v).(u) <- x);
+  w
+
+let closure_of_graph g = run (of_graph g)

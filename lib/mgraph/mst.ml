@@ -1,0 +1,41 @@
+let kruskal n edges =
+  let sorted = List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b) edges in
+  let uf = Union_find.create n in
+  List.filter (fun (u, v, _) -> Union_find.union uf u v) sorted
+
+let kruskal_graph g =
+  Wgraph.of_edges (Wgraph.n g) (kruskal (Wgraph.n g) (Wgraph.edges g))
+
+let prim_complete n w =
+  if n <= 1 then []
+  else begin
+    let in_tree = Array.make n false in
+    let best = Array.make n Float.infinity in
+    let best_to = Array.make n (-1) in
+    in_tree.(0) <- true;
+    for v = 1 to n - 1 do
+      best.(v) <- w 0 v;
+      best_to.(v) <- 0
+    done;
+    let edges = ref [] in
+    for _ = 1 to n - 1 do
+      (* Cheapest crossing edge. *)
+      let u = ref (-1) in
+      for v = 0 to n - 1 do
+        if (not in_tree.(v)) && (!u < 0 || best.(v) < best.(!u)) then u := v
+      done;
+      let u = !u in
+      in_tree.(u) <- true;
+      edges := (best_to.(u), u, best.(u)) :: !edges;
+      for v = 0 to n - 1 do
+        if not in_tree.(v) then begin
+          let cand = w u v in
+          if cand < best.(v) then begin
+            best.(v) <- cand;
+            best_to.(v) <- u
+          end
+        end
+      done
+    done;
+    !edges
+  end

@@ -1,0 +1,13 @@
+(** Minimum spanning trees / forests. *)
+
+val kruskal : int -> (int * int * float) list -> (int * int * float) list
+(** [kruskal n edges] is a minimum spanning forest (a tree when the edge
+    list connects all of [0..n-1]). *)
+
+val kruskal_graph : Wgraph.t -> Wgraph.t
+(** Minimum spanning forest of a sparse graph. *)
+
+val prim_complete : int -> (int -> int -> float) -> (int * int * float) list
+(** [prim_complete n w] is an MST of the complete graph whose weights are
+    given by the symmetric function [w], in O(n^2).  This is the natural
+    entry point for host graphs, which are complete by definition. *)

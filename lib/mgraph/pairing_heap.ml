@@ -1,0 +1,45 @@
+type 'a node = Leaf | Node of 'a * 'a node list
+
+type 'a t = { cmp : 'a -> 'a -> int; root : 'a node }
+
+let empty ~cmp = { cmp; root = Leaf }
+
+let is_empty h = h.root = Leaf
+
+let merge_nodes cmp a b =
+  match (a, b) with
+  | Leaf, x | x, Leaf -> x
+  | Node (xa, ca), Node (xb, cb) ->
+    if cmp xa xb <= 0 then Node (xa, b :: ca) else Node (xb, a :: cb)
+
+let merge a b = { a with root = merge_nodes a.cmp a.root b.root }
+
+let insert h x = { h with root = merge_nodes h.cmp h.root (Node (x, [])) }
+
+let find_min h = match h.root with Leaf -> None | Node (x, _) -> Some x
+
+(* Two-pass pairing: pairwise merge left-to-right, then fold right-to-left. *)
+let rec merge_pairs cmp = function
+  | [] -> Leaf
+  | [ x ] -> x
+  | a :: b :: rest -> merge_nodes cmp (merge_nodes cmp a b) (merge_pairs cmp rest)
+
+let delete_min h =
+  match h.root with
+  | Leaf -> None
+  | Node (x, children) -> Some (x, { h with root = merge_pairs h.cmp children })
+
+let of_list ~cmp xs = List.fold_left insert (empty ~cmp) xs
+
+let to_sorted_list h =
+  let rec go acc h =
+    match delete_min h with None -> List.rev acc | Some (x, h') -> go (x :: acc) h'
+  in
+  go [] h
+
+let size h =
+  let rec count = function
+    | Leaf -> 0
+    | Node (_, children) -> 1 + List.fold_left (fun acc c -> acc + count c) 0 children
+  in
+  count h.root

@@ -1,0 +1,28 @@
+(** Persistent polymorphic pairing heap.
+
+    A simple mergeable min-heap used where the indexed binary heap does not
+    fit (generic priorities, persistence).  All operations are O(log n)
+    amortized; [merge] and [insert] are O(1). *)
+
+type 'a t
+
+val empty : cmp:('a -> 'a -> int) -> 'a t
+
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> 'a -> 'a t
+
+val merge : 'a t -> 'a t -> 'a t
+(** Both heaps must have been created with the same comparison. *)
+
+val find_min : 'a t -> 'a option
+
+val delete_min : 'a t -> ('a * 'a t) option
+(** Minimum together with the remaining heap. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+
+val size : 'a t -> int
+(** O(n). *)

@@ -1,0 +1,43 @@
+let all_pairs n =
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      acc := (u, v) :: !acc
+    done
+  done;
+  !acc
+
+let greedy n w t =
+  if t < 1.0 then invalid_arg "Spanner.greedy: t < 1";
+  let pairs =
+    all_pairs n
+    |> List.map (fun (u, v) -> (u, v, w u v))
+    |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare a b)
+  in
+  let g = Wgraph.create n in
+  List.iter
+    (fun (u, v, wuv) ->
+      let limit = t *. wuv in
+      let d = Dijkstra.sssp_bounded g u limit in
+      if d.(v) > limit then Wgraph.add_edge g u v wuv)
+    pairs;
+  g
+
+let host_closure n w =
+  let m = Array.init n (fun u -> Array.init n (fun v -> if u = v then 0.0 else w u v)) in
+  Floyd_warshall.run m
+
+let stretch ~host g =
+  let n = Wgraph.n g in
+  let dh = host_closure n host in
+  let worst = ref 1.0 in
+  for u = 0 to n - 1 do
+    let dg = Dijkstra.sssp g u in
+    for v = u + 1 to n - 1 do
+      if dh.(u).(v) > 0.0 then worst := Float.max !worst (dg.(v) /. dh.(u).(v))
+      else if dg.(v) > 0.0 then worst := Float.infinity
+    done
+  done;
+  !worst
+
+let is_spanner ~host t g = Gncg_util.Flt.le (stretch ~host g) t

@@ -1,0 +1,23 @@
+(** Multiplicative graph spanners.
+
+    A subgraph [G] of a host [H] is a [t]-spanner when
+    [d_G(u,v) <= t * d_H(u,v)] for all pairs.  The paper uses spanners
+    throughout: any add-only equilibrium is an (α+1)-spanner (Lemma 1), the
+    social optimum is an (α/2+1)-spanner (Lemma 2), and minimum-weight
+    3/2-spanners of 1-2 host graphs are Nash equilibria (Thm. 5). *)
+
+val greedy : int -> (int -> int -> float) -> float -> Wgraph.t
+(** [greedy n w t] is the classical greedy [t]-spanner (Althöfer et al.) of
+    the complete host with weight function [w]: scan pairs by increasing
+    weight, keep an edge iff the current spanner distance exceeds
+    [t * w u v].  The result is a [t]-spanner of the host. *)
+
+val stretch : host:(int -> int -> float) -> Wgraph.t -> float
+(** [stretch ~host g] is the maximum over pairs of
+    [d_G(u,v) / d_H(u,v)] where [d_H] is the shortest-path metric of the
+    complete host; infinite if [g] is disconnected.  Pairs at host distance
+    0 are skipped unless their [g]-distance is positive, in which case the
+    stretch is infinite. *)
+
+val is_spanner : host:(int -> int -> float) -> float -> Wgraph.t -> bool
+(** [is_spanner ~host t g] checks [stretch <= t] with tolerance. *)

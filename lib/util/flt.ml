@@ -1,0 +1,36 @@
+let eps = 1e-9
+
+let approx_eq ?(tol = eps) a b =
+  (* Equal infinities compare equal (their difference would be NaN). *)
+  a = b || Float.abs (a -. b) <= tol
+
+let lt ?(tol = eps) a b = a < b -. tol
+
+let le ?(tol = eps) a b = a <= b +. tol
+
+let is_finite x = Float.is_finite x
+
+let min_array a =
+  if Array.length a = 0 then invalid_arg "Flt.min_array: empty";
+  Array.fold_left Float.min a.(0) a
+
+let max_array a =
+  if Array.length a = 0 then invalid_arg "Flt.max_array: empty";
+  Array.fold_left Float.max a.(0) a
+
+let sum a =
+  (* Kahan summation: distance costs add up thousands of terms and the
+     equilibrium checks compare them with a 1e-9 tolerance.  Infinite
+     entries (disconnected agents) must propagate as infinity — the naive
+     compensation would produce inf - inf = NaN. *)
+  if Array.exists (fun x -> x = Float.infinity) a then Float.infinity
+  else begin
+    let s = ref 0.0 and c = ref 0.0 in
+    for i = 0 to Array.length a - 1 do
+      let y = a.(i) -. !c in
+      let t = !s +. y in
+      c := t -. !s -. y;
+      s := t
+    done;
+    !s
+  end

@@ -1,0 +1,29 @@
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let init ?domains n f =
+  if n < 0 then invalid_arg "Parallel.init";
+  if n = 0 then [||]
+  else begin
+    let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+    let domains = min domains n in
+    if domains = 1 then Array.init n f
+    else begin
+      (* First cell computed on the main domain so the result array can be
+         allocated without an option layer. *)
+      let first = f 0 in
+      let result = Array.make n first in
+      let chunk = (n + domains - 1) / domains in
+      let worker k () =
+        let lo = max 1 (k * chunk) in
+        let hi = min n ((k + 1) * chunk) - 1 in
+        for i = lo to hi do
+          result.(i) <- f i
+        done
+      in
+      let handles = List.init domains (fun k -> Domain.spawn (worker k)) in
+      List.iter Domain.join handles;
+      result
+    end
+  end
+
+let map_array ?domains f a = init ?domains (Array.length a) (fun i -> f a.(i))

@@ -1,0 +1,19 @@
+(** Minimal fork-join helpers over OCaml 5 domains.
+
+    The engine's hot loops (all-pairs shortest paths, per-agent cost sums,
+    seed sweeps) are embarrassingly parallel: this module provides the
+    fork-join skeleton used by their [_parallel] variants.  Work is split
+    into contiguous chunks, one domain per chunk; results land in a
+    pre-allocated array, so no synchronization beyond [Domain.join] is
+    needed.  Callers must ensure [f] only *reads* shared structures. *)
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()], capped at 8. *)
+
+val init : ?domains:int -> int -> (int -> 'a) -> 'a array
+(** [init n f] is [Array.init n f] with the index space split across
+    domains.  [f] runs concurrently: it must be safe to call from several
+    domains at once on disjoint indices. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; same safety contract. *)

@@ -1,0 +1,38 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(align = []) ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) row)
+    all;
+  let align_of i = match List.nth_opt align i with Some a -> a | None -> Right in
+  let line row =
+    row
+    |> List.mapi (fun i c -> pad (align_of i) widths.(i) c)
+    |> String.concat "  "
+  in
+  let rule =
+    Array.to_list widths |> List.map (fun w -> String.make w '-') |> String.concat "  "
+  in
+  String.concat "\n" (line header :: rule :: List.map line rows)
+
+let print ?align ~header rows =
+  print_string (render ?align ~header rows);
+  print_newline ()
+
+let fl ?(digits = 4) x =
+  if Float.is_integer x && Float.abs x < 1e15 && digits = 0 then
+    Printf.sprintf "%.0f" x
+  else if x = Float.infinity then "inf"
+  else if x = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%.*f" digits x

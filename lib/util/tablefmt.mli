@@ -1,0 +1,23 @@
+(** Plain-text table rendering for the benchmark harness and examples. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays out a table with a header rule.  Column
+    widths adapt to the longest cell; [align] defaults to [Right] for every
+    column. *)
+
+val print :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  unit
+(** [print] renders to [stdout] followed by a newline. *)
+
+val fl : ?digits:int -> float -> string
+(** Fixed-point float formatting ([digits] defaults to 4); renders
+    infinities as ["inf"]. *)

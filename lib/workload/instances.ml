@@ -1,0 +1,53 @@
+module Euclidean = Gncg_metric.Euclidean
+
+type model =
+  | One_two of { p_one : float }
+  | Tree of { wmin : float; wmax : float }
+  | Euclid of { norm : Euclidean.norm; d : int; box : float }
+  | Graph_metric of { p : float; wmin : float; wmax : float }
+  | General of { lo : float; hi : float }
+  | One_inf of { p : float }
+
+let model_name = function
+  | One_two _ -> "1-2"
+  | Tree _ -> "tree"
+  | Euclid { norm; d; _ } ->
+    let norm_name =
+      match norm with
+      | Euclidean.L1 -> "l1"
+      | Euclidean.L2 -> "l2"
+      | Euclidean.Lp p -> Printf.sprintf "l%g" p
+      | Euclidean.Linf -> "linf"
+    in
+    Printf.sprintf "R^%d(%s)" d norm_name
+  | Graph_metric _ -> "graph-metric"
+  | General _ -> "general"
+  | One_inf _ -> "1-inf"
+
+let default_models =
+  [
+    One_two { p_one = 0.4 };
+    Tree { wmin = 1.0; wmax = 10.0 };
+    Euclid { norm = Euclidean.L2; d = 2; box = 100.0 };
+    Graph_metric { p = 0.3; wmin = 1.0; wmax = 10.0 };
+    General { lo = 1.0; hi = 10.0 };
+    One_inf { p = 0.3 };
+  ]
+
+let random_metric rng model ~n =
+  match model with
+  | One_two { p_one } -> Gncg_metric.One_two.random rng ~n ~p_one
+  | Tree { wmin; wmax } ->
+    Gncg_metric.Tree_metric.metric (Gncg_metric.Tree_metric.random rng ~n ~wmin ~wmax)
+  | Euclid { norm; d; box } ->
+    Euclidean.metric norm (Euclidean.random_uniform rng ~n ~d ~lo:0.0 ~hi:box)
+  | Graph_metric { p; wmin; wmax } ->
+    Gncg_metric.Random_host.random_graph_metric rng ~n ~p ~wmin ~wmax
+  | General { lo; hi } -> Gncg_metric.Random_host.uniform rng ~n ~lo ~hi
+  | One_inf { p } -> Gncg_metric.One_inf.random_connected rng ~n ~p
+
+let random_host rng model ~n ~alpha = Gncg.Host.make ~alpha (random_metric rng model ~n)
+
+let random_profile rng host = Gncg_constructions.Brcycle.random_profile rng host
+
+let empty_profile host = Gncg.Strategy.empty (Gncg.Host.n host)

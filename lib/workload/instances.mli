@@ -1,0 +1,24 @@
+(** Random game instances per model class (Fig. 1), for the statistical
+    experiments and property tests. *)
+
+type model =
+  | One_two of { p_one : float }
+  | Tree of { wmin : float; wmax : float }
+  | Euclid of { norm : Gncg_metric.Euclidean.norm; d : int; box : float }
+  | Graph_metric of { p : float; wmin : float; wmax : float }
+  | General of { lo : float; hi : float }
+  | One_inf of { p : float }
+
+val model_name : model -> string
+
+val default_models : model list
+(** One representative of each class. *)
+
+val random_metric : Gncg_util.Prng.t -> model -> n:int -> Gncg_metric.Metric.t
+
+val random_host : Gncg_util.Prng.t -> model -> n:int -> alpha:float -> Gncg.Host.t
+
+val random_profile : Gncg_util.Prng.t -> Gncg.Host.t -> Gncg.Strategy.t
+(** Random connected profile (spanning tree + extra purchases). *)
+
+val empty_profile : Gncg.Host.t -> Gncg.Strategy.t

@@ -1,0 +1,43 @@
+(** Parameter sweeps driving the statistical experiments: run response
+    dynamics to a stable state, compare against the best known optimum,
+    and aggregate ratios across seeds. *)
+
+type run = {
+  model : string;
+  n : int;
+  alpha : float;
+  seed : int;
+  converged : bool;
+  steps : int;
+  stable_cost : float;
+  opt_cost : float;
+  ratio : float;  (** stable/opt; NaN when not converged *)
+  diameter : float;
+  stretch : float;  (** spanner stretch of the stable network *)
+  is_tree : bool;
+}
+
+val dynamics_run :
+  ?rule:Gncg.Dynamics.rule ->
+  ?max_steps:int ->
+  Instances.model ->
+  n:int ->
+  alpha:float ->
+  seed:int ->
+  run
+(** One seeded dynamics run from a random profile; the optimum is
+    [Social_optimum.best_known] (exact on small hosts). *)
+
+val dynamics_batch :
+  ?rule:Gncg.Dynamics.rule ->
+  ?max_steps:int ->
+  Instances.model ->
+  ns:int list ->
+  alphas:float list ->
+  seeds:int list ->
+  run list
+
+val ratios : run list -> float list
+(** Ratios of the converged runs. *)
+
+val converged_fraction : run list -> float

@@ -1,0 +1,34 @@
+(* Shared helpers for the test suites. *)
+
+let approx ?(tol = 1e-6) a b = Gncg_util.Flt.approx_eq ~tol a b
+
+let check_float ?(tol = 1e-6) name expected actual =
+  if not (approx ~tol expected actual) then
+    Alcotest.failf "%s: expected %.9g, got %.9g" name expected actual
+
+let check_true name b = Alcotest.(check bool) name true b
+
+let check_false name b = Alcotest.(check bool) name false b
+
+let case name f = Alcotest.test_case name `Quick f
+
+let slow_case name f = Alcotest.test_case name `Slow f
+
+let rng seed = Gncg_util.Prng.create seed
+
+(* A small random sparse connected graph for substrate tests. *)
+let random_graph ?(wmin = 1.0) ?(wmax = 10.0) r n extra =
+  let g = Gncg_graph.Wgraph.create n in
+  for i = 1 to n - 1 do
+    let j = Gncg_util.Prng.int r i in
+    Gncg_graph.Wgraph.add_edge g i j (Gncg_util.Prng.float_in r wmin wmax)
+  done;
+  let added = ref 0 in
+  while !added < extra do
+    let u = Gncg_util.Prng.int r n and v = Gncg_util.Prng.int r n in
+    if u <> v && not (Gncg_graph.Wgraph.has_edge g u v) then begin
+      Gncg_graph.Wgraph.add_edge g u v (Gncg_util.Prng.float_in r wmin wmax);
+      incr added
+    end
+  done;
+  g

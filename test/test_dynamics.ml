@@ -1,0 +1,129 @@
+open Helpers
+module Prng = Gncg_util.Prng
+module Dyn = Gncg.Dynamics
+module Eq = Gncg.Equilibrium
+module Strategy = Gncg.Strategy
+
+let small_metric_host r ~n ~alpha =
+  Gncg.Host.make ~alpha (Gncg_metric.Random_host.uniform_metric r ~n ~lo:1.0 ~hi:5.0)
+
+let test_converged_is_equilibrium () =
+  let r = rng 400 in
+  let checked = ref 0 in
+  for _ = 1 to 10 do
+    let host = small_metric_host r ~n:6 ~alpha:(0.5 +. Prng.float r 2.0) in
+    let start = Gncg_workload.Instances.random_profile r host in
+    (match
+       Dyn.run ~max_steps:4000 ~rule:Dyn.Greedy_response ~scheduler:Dyn.Round_robin host
+         start
+     with
+    | Dyn.Converged { profile; _ } ->
+      incr checked;
+      check_true "converged => GE" (Eq.is_ge host profile)
+    | _ -> ());
+    match
+      Dyn.run ~max_steps:600 ~rule:Dyn.Best_response ~scheduler:Dyn.Round_robin host start
+    with
+    | Dyn.Converged { profile; _ } ->
+      incr checked;
+      check_true "converged => NE" (Eq.is_ne host profile)
+    | _ -> ()
+  done;
+  check_true "at least some runs converged" (!checked > 0)
+
+let test_add_only_always_converges () =
+  let r = rng 401 in
+  for _ = 1 to 10 do
+    let host = small_metric_host r ~n:7 ~alpha:1.0 in
+    (* Start connected: from the empty profile a single purchase cannot
+       rescue an infinite cost, so add-only dynamics idle there. *)
+    let start = Gncg_workload.Instances.random_profile r host in
+    match
+      Dyn.run ~max_steps:5000 ~rule:Dyn.Add_only ~scheduler:Dyn.Round_robin host start
+    with
+    | Dyn.Converged { profile; _ } ->
+      check_true "result is AE" (Eq.is_ae host profile);
+      check_true "result connected" (Gncg.Network.is_connected host profile)
+    | _ -> Alcotest.fail "add-only dynamics cannot cycle (edge set grows)"
+  done;
+  (* The empty-start plateau itself: dynamics converge immediately. *)
+  let host = small_metric_host r ~n:6 ~alpha:1.0 in
+  match
+    Dyn.run ~max_steps:100 ~rule:Dyn.Add_only ~scheduler:Dyn.Round_robin host
+      (Strategy.empty 6)
+  with
+  | Dyn.Converged { profile; steps; _ } ->
+    check_true "no moves from empty" (steps = []);
+    check_true "still empty" (Strategy.equal profile (Strategy.empty 6))
+  | _ -> Alcotest.fail "empty start must converge instantly"
+
+let test_steps_strictly_improve () =
+  let r = rng 402 in
+  let host = small_metric_host r ~n:6 ~alpha:1.5 in
+  let start = Gncg_workload.Instances.random_profile r host in
+  match Dyn.run ~max_steps:2000 ~rule:Dyn.Greedy_response ~scheduler:Dyn.Round_robin host start with
+  | Dyn.Converged { steps; _ } | Dyn.Cycle { steps; _ } | Dyn.Out_of_steps { steps; _ } ->
+    List.iter
+      (fun (st : Dyn.step) ->
+        check_true "strict improvement" (st.after_cost < st.before_cost))
+      steps
+
+let test_deviation_none_at_ne () =
+  let host = Gncg_constructions.Thm15_tree_star.host ~alpha:2.0 ~n:5 in
+  let ne = Gncg_constructions.Thm15_tree_star.ne_profile ~alpha:2.0 ~n:5 in
+  for u = 0 to 4 do
+    check_true "no deviation at NE" (Dyn.deviation Dyn.Best_response host ne u = None)
+  done
+
+let test_out_of_steps () =
+  let r = rng 403 in
+  let host = small_metric_host r ~n:6 ~alpha:1.0 in
+  let start = Strategy.empty 6 in
+  match Dyn.run ~max_steps:1 ~rule:Dyn.Add_only ~scheduler:Dyn.Round_robin host start with
+  | Dyn.Out_of_steps _ -> ()
+  | Dyn.Converged _ -> Alcotest.fail "cannot converge in one step from empty"
+  | Dyn.Cycle _ -> Alcotest.fail "cannot cycle in one step"
+
+let test_random_scheduler_runs () =
+  let r = rng 404 in
+  let host = small_metric_host r ~n:5 ~alpha:1.0 in
+  let start = Gncg_workload.Instances.random_profile r host in
+  let scheduler = Dyn.Random_order (Prng.create 99) in
+  match Dyn.run ~max_steps:3000 ~rule:Dyn.Greedy_response ~scheduler host start with
+  | Dyn.Converged { profile; _ } -> check_true "GE under random order" (Eq.is_ge host profile)
+  | Dyn.Cycle { profiles; _ } ->
+    check_true "cycle is verified" (Gncg_constructions.Brcycle.verify_cycle host profiles)
+  | Dyn.Out_of_steps _ -> ()
+
+let test_cycle_certificates_verified () =
+  (* Hunt for improving-move cycles on small hosts; every reported cycle
+     must pass independent verification.  (Existence is exercised again in
+     the FIP experiment E10.) *)
+  let r = rng 405 in
+  let found = ref 0 in
+  for _ = 1 to 30 do
+    let n = 4 + Prng.int r 3 in
+    let model = List.nth Gncg_workload.Instances.default_models (Prng.int r 5) in
+    let host = Gncg_workload.Instances.random_host r model ~n ~alpha:(0.5 +. Prng.float r 3.0) in
+    match Gncg_constructions.Brcycle.search_host ~tries:3 ~max_steps:300 r host with
+    | Some f ->
+      incr found;
+      check_true "certificate verifies" (Gncg_constructions.Brcycle.verify_cycle f.host f.cycle)
+    | None -> ()
+  done;
+  (* Not finding any cycle is possible but unexpected; record it loudly. *)
+  if !found = 0 then Printf.printf "  note: no improving cycles found in this search budget\n"
+
+let suites =
+  [
+    ( "dynamics",
+      [
+        case "converged profiles are equilibria" test_converged_is_equilibrium;
+        case "add-only always converges" test_add_only_always_converges;
+        case "steps strictly improve" test_steps_strictly_improve;
+        case "no deviation at NE" test_deviation_none_at_ne;
+        case "out of steps" test_out_of_steps;
+        case "random scheduler" test_random_scheduler_runs;
+        slow_case "cycle certificates verify" test_cycle_certificates_verified;
+      ] );
+  ]

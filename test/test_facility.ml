@@ -1,0 +1,132 @@
+open Helpers
+module Fl = Gncg.Facility_location
+module Prng = Gncg_util.Prng
+
+let random_instance ?(forced = false) r nf nc =
+  let open_cost = Array.init nf (fun _ -> Prng.float r 10.0) in
+  let service = Array.init nf (fun _ -> Array.init nc (fun _ -> Prng.float r 10.0)) in
+  let forced_open =
+    Array.init nf (fun _ -> forced && Prng.coin r 0.3)
+  in
+  Array.iteri (fun f b -> if b then open_cost.(f) <- 0.0) forced_open;
+  Fl.make ~forced_open ~open_cost ~service ()
+
+let brute_force inst =
+  let nf = Fl.num_facilities inst in
+  let best = ref Float.infinity in
+  let best_set = ref (Array.make nf false) in
+  for mask = 0 to (1 lsl nf) - 1 do
+    let set = Array.init nf (fun f -> mask land (1 lsl f) <> 0) in
+    let c = Fl.cost inst set in
+    if c < !best then begin
+      best := c;
+      best_set := set
+    end
+  done;
+  (!best_set, !best)
+
+let test_cost_definition () =
+  let inst =
+    Fl.make ~open_cost:[| 5.0; 1.0 |]
+      ~service:[| [| 1.0; 4.0 |]; [| 3.0; 2.0 |] |]
+      ()
+  in
+  check_float "both open" (5.0 +. 1.0 +. 1.0 +. 2.0) (Fl.cost inst [| true; true |]);
+  check_float "first only" (5.0 +. 1.0 +. 4.0) (Fl.cost inst [| true; false |]);
+  check_true "none open is infeasible" (Fl.cost inst [| false; false |] = Float.infinity)
+
+let test_forced_open () =
+  let inst =
+    Fl.make
+      ~forced_open:[| true; false |]
+      ~open_cost:[| 0.0; 1.0 |]
+      ~service:[| [| 1.0 |]; [| 0.5 |] |]
+      ()
+  in
+  check_true "closing forced facility infeasible"
+    (Fl.cost inst [| false; true |] = Float.infinity);
+  let set, _ = Fl.solve_exact inst in
+  check_true "exact keeps forced open" set.(0)
+
+let test_exact_vs_brute_force () =
+  let r = rng 100 in
+  for trial = 1 to 20 do
+    let nf = 2 + Prng.int r 7 and nc = 1 + Prng.int r 8 in
+    let inst = random_instance r nf nc in
+    let _, exact = Fl.solve_exact inst in
+    let _, brute = brute_force inst in
+    if not (approx ~tol:1e-9 exact brute) then
+      Alcotest.failf "trial %d: exact=%g brute=%g" trial exact brute
+  done
+
+let test_exact_with_forced_vs_brute_force () =
+  let r = rng 101 in
+  for trial = 1 to 15 do
+    let nf = 2 + Prng.int r 6 and nc = 1 + Prng.int r 6 in
+    let inst = random_instance ~forced:true r nf nc in
+    let _, exact = Fl.solve_exact inst in
+    let _, brute = brute_force inst in
+    if not (approx ~tol:1e-9 exact brute) then
+      Alcotest.failf "trial %d: exact=%g brute=%g" trial exact brute
+  done
+
+let test_local_search_fixpoint () =
+  let r = rng 102 in
+  for _ = 1 to 10 do
+    let inst = random_instance r 8 8 in
+    let set, cost = Fl.local_search inst in
+    check_float ~tol:1e-9 "reported cost is correct" (Fl.cost inst set) cost;
+    check_true "no improving step left" (Fl.improve_step inst set = None)
+  done
+
+let test_local_search_3_approx_on_metric () =
+  (* Arya et al.: the locality gap on metric instances is 3; verify the
+     bound holds on random metric service costs (clients = points,
+     facilities = points, metric distances). *)
+  let r = rng 103 in
+  for _ = 1 to 10 do
+    let n = 7 in
+    let pts = Gncg_metric.Euclidean.random_uniform r ~n:(2 * n) ~d:2 ~lo:0.0 ~hi:10.0 in
+    let service =
+      Array.init n (fun f ->
+          Array.init n (fun c -> Gncg_metric.Euclidean.dist L2 pts.(f) pts.(n + c)))
+    in
+    let open_cost = Array.init n (fun _ -> Prng.float r 5.0) in
+    let inst = Fl.make ~open_cost ~service () in
+    let _, ls = Fl.local_search inst in
+    let _, opt = Fl.solve_exact inst in
+    check_true "local search within locality gap 3" (ls <= (3.0 *. opt) +. 1e-6)
+  done
+
+let test_infinite_costs_handled () =
+  let inst =
+    Fl.make
+      ~open_cost:[| Float.infinity; 2.0 |]
+      ~service:[| [| 1.0 |]; [| Float.infinity |] |]
+      ()
+  in
+  let _, cost = Fl.solve_exact inst in
+  check_true "best is infinite (unservable client)" (cost = Float.infinity);
+  let _, ls_cost = Fl.local_search inst in
+  check_true "local search does not NaN" (Float.is_nan ls_cost = false)
+
+let test_empty_instance () =
+  let inst = Fl.make ~open_cost:[||] ~service:[||] () in
+  let set, cost = Fl.solve_exact inst in
+  Alcotest.(check int) "no facilities" 0 (Array.length set);
+  check_float "zero cost" 0.0 cost
+
+let suites =
+  [
+    ( "facility-location",
+      [
+        case "cost definition" test_cost_definition;
+        case "forced-open facilities" test_forced_open;
+        case "exact = brute force" test_exact_vs_brute_force;
+        case "exact with forced = brute force" test_exact_with_forced_vs_brute_force;
+        case "local search reaches fixpoint" test_local_search_fixpoint;
+        case "local search within locality gap" test_local_search_3_approx_on_metric;
+        case "infinite costs" test_infinite_costs_handled;
+        case "empty instance" test_empty_instance;
+      ] );
+  ]

@@ -1,0 +1,123 @@
+open Helpers
+module Pos = Gncg.Price_of_stability
+module Prng = Gncg_util.Prng
+
+let test_enumerate_finds_known_ne () =
+  (* Thm 15 star host at n=4: the defining tree and the adversarial star
+     must both appear among the enumerated equilibria. *)
+  let alpha = 2.0 and n = 4 in
+  let host = Gncg_constructions.Thm15_tree_star.host ~alpha ~n in
+  let nes = Pos.enumerate_ne host in
+  check_true "some NE exist" (nes <> []);
+  let contains profile =
+    List.exists (fun s -> Gncg.Strategy.equal s profile) nes
+  in
+  check_true "adversarial star enumerated"
+    (contains (Gncg_constructions.Thm15_tree_star.ne_profile ~alpha ~n));
+  List.iter (fun s -> check_true "every result is NE" (Gncg.Equilibrium.is_ne host s)) nes
+
+let test_exact_summary_consistency () =
+  let r = rng 900 in
+  for _ = 1 to 5 do
+    let alpha = 0.5 +. Prng.float r 3.0 in
+    let host =
+      Gncg.Host.make ~alpha
+        (Gncg_metric.Random_host.uniform_metric r ~n:4 ~lo:1.0 ~hi:5.0)
+    in
+    match Pos.exact host with
+    | None -> Alcotest.fail "4-agent metric hosts always have equilibria in practice"
+    | Some s ->
+      check_true "best <= worst" (s.Pos.best_ne_cost <= s.Pos.worst_ne_cost +. 1e-9);
+      check_true "PoS >= 1 (opt is optimal)" (s.Pos.best_ne_cost >= s.Pos.opt_cost -. 1e-6);
+      check_true "PoA respects Thm 1"
+        (s.Pos.worst_ne_cost /. s.Pos.opt_cost
+         <= Gncg.Quality.metric_upper alpha +. 1e-6);
+      check_true "count positive" (s.Pos.ne_count > 0)
+  done
+
+let test_tree_pos_is_one () =
+  (* Cor 3: on tree metrics the optimum itself is stable, so PoS = 1. *)
+  let r = rng 901 in
+  for _ = 1 to 5 do
+    let tree = Gncg_metric.Tree_metric.random r ~n:4 ~wmin:1.0 ~wmax:5.0 in
+    let alpha = 0.5 +. Prng.float r 3.0 in
+    let host = Gncg.Host.make ~alpha (Gncg_metric.Tree_metric.metric tree) in
+    match Pos.exact host with
+    | None -> Alcotest.fail "tree hosts always have the tree equilibrium"
+    | Some s ->
+      check_float ~tol:1e-6 "PoS = 1 on tree metrics" 1.0
+        (s.Pos.best_ne_cost /. s.Pos.opt_cost)
+  done
+
+let test_enumerate_guard () =
+  let host = Gncg.Host.make ~alpha:1.0 (Gncg_metric.Metric.make 6 (fun _ _ -> 1.0)) in
+  let raised = ref false in
+  (try ignore (Pos.enumerate_ne host) with Invalid_argument _ -> raised := true);
+  check_true "refuses large hosts" !raised
+
+let test_dynamics_upper_bounds () =
+  let r = rng 902 in
+  let host =
+    Gncg.Host.make ~alpha:2.0
+      (Gncg_metric.Random_host.uniform_metric r ~n:8 ~lo:1.0 ~hi:5.0)
+  in
+  let _, opt = Gncg.Social_optimum.best_known host in
+  (match Pos.cheapest_stable_via_dynamics ~starts:4 (Prng.split r) host with
+  | Some (profile, cost) ->
+    check_true "stable profile is GE" (Gncg.Equilibrium.is_ge host profile);
+    check_float ~tol:1e-6 "reported cost correct" (Gncg.Cost.social_cost host profile) cost;
+    check_true "above optimum" (cost >= opt -. 1e-6)
+  | None -> Alcotest.fail "greedy dynamics should converge here");
+  match Pos.stable_from_optimum host with
+  | Some (profile, cost) ->
+    check_true "opt-seeded profile is GE" (Gncg.Equilibrium.is_ge host profile);
+    check_true "opt-seeded above optimum" (cost >= opt -. 1e-6)
+  | None -> Alcotest.fail "opt-seeded dynamics should converge here"
+
+let test_opt_seeded_tree_stays_at_opt () =
+  (* On a tree metric the optimum orientation is already stable. *)
+  let r = rng 903 in
+  let tree = Gncg_metric.Tree_metric.random r ~n:7 ~wmin:1.0 ~wmax:5.0 in
+  let host = Gncg.Host.make ~alpha:2.0 (Gncg_metric.Tree_metric.metric tree) in
+  let _, opt = Gncg.Social_optimum.best_known host in
+  match Pos.stable_from_optimum host with
+  | Some (_, cost) -> check_float ~tol:1e-6 "no drift from the tree optimum" opt cost
+  | None -> Alcotest.fail "must converge"
+
+let test_kernel_sample () =
+  (* A slice of the exhaustive E22 kernel: a handful of 4-agent 1-2 hosts
+     with all equilibria enumerated, checked against Thm 1 and Lemma 1. *)
+  let pairs = [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ] in
+  List.iter
+    (fun mask ->
+      let ones = List.filteri (fun i _ -> mask land (1 lsl i) <> 0) pairs in
+      let m = Gncg_metric.One_two.of_one_edges 4 ones in
+      List.iter
+        (fun alpha ->
+          let host = Gncg.Host.make ~alpha m in
+          let _, opt = Gncg.Social_optimum.exact_small host in
+          List.iter
+            (fun ne ->
+              check_true "Thm 1 on kernel"
+                (Gncg.Cost.social_cost host ne /. opt
+                 <= Gncg.Quality.metric_upper alpha +. 1e-9);
+              check_true "Lemma 1 on kernel"
+                (Gncg.Quality.host_stretch host (Gncg.Network.graph host ne)
+                 <= Gncg.Quality.ae_spanner_stretch alpha +. 1e-9))
+            (Pos.enumerate_ne host))
+        [ 0.4; 1.0; 2.5 ])
+    [ 0; 7; 21; 42; 63 ]
+
+let suites =
+  [
+    ( "price-of-stability",
+      [
+        case "enumeration finds known NE" test_enumerate_finds_known_ne;
+        case "exact summary consistency" test_exact_summary_consistency;
+        case "Cor 3: tree PoS = 1" test_tree_pos_is_one;
+        case "enumeration guard" test_enumerate_guard;
+        case "dynamics upper bounds" test_dynamics_upper_bounds;
+        case "opt-seeded stays at tree optimum" test_opt_seeded_tree_stays_at_opt;
+        slow_case "exhaustive kernel sample" test_kernel_sample;
+      ] );
+  ]

@@ -1,0 +1,81 @@
+open Helpers
+module Q = Gncg.Quality
+
+let test_metric_upper_values () =
+  check_float "alpha=0" 1.0 (Q.metric_upper 0.0);
+  check_float "alpha=2" 2.0 (Q.metric_upper 2.0);
+  check_float "alpha=8" 5.0 (Q.metric_upper 8.0)
+
+let test_general_upper_is_square () =
+  List.iter
+    (fun a -> check_float "square" (Q.metric_upper a ** 2.0) (Q.general_upper a))
+    [ 0.5; 1.0; 3.0; 10.0 ]
+
+let test_onetwo_formulas () =
+  check_float "mid at 1/2" 1.2 (Q.onetwo_mid_poa 0.5);
+  check_float "mid continuous at 1" 1.0 (Q.onetwo_mid_poa 1.0);
+  check_float "alpha=1 constant" 1.5 Q.onetwo_alpha_one_poa
+
+let test_fourpoint_limits () =
+  check_float ~tol:1e-3 "alpha->0 tends to 1" 1.0 (Q.fourpoint_lower 1e-6);
+  check_true "strictly above 1" (Q.fourpoint_lower 0.1 > 1.0);
+  check_true "monotone sample" (Q.fourpoint_lower 2.0 > Q.fourpoint_lower 1.0);
+  check_float ~tol:1e-4 "alpha->inf tends to 3" 3.0 (Q.fourpoint_lower 1e8)
+
+let test_cross_lower_shape () =
+  (* Increasing in d, approaching (alpha+2)/2. *)
+  let alpha = 6.0 in
+  check_true "monotone in d"
+    (Q.cross_lower ~alpha ~d:2 < Q.cross_lower ~alpha ~d:8);
+  check_true "below metric bound"
+    (Q.cross_lower ~alpha ~d:1000 < Q.metric_upper alpha);
+  check_float ~tol:1e-2 "limit" (Q.metric_upper alpha) (Q.cross_lower ~alpha ~d:100000);
+  (* d = 1: 1 + a/(2+a): matches Lemma 8's two-point behaviour. *)
+  check_float "d=1" (1.0 +. (6.0 /. 8.0)) (Q.cross_lower ~alpha ~d:1);
+  Alcotest.check_raises "d < 1 rejected" (Invalid_argument "Quality.cross_lower: d < 1")
+    (fun () -> ignore (Q.cross_lower ~alpha ~d:0))
+
+let test_approx_chain () =
+  List.iter
+    (fun a ->
+      check_float "AE->GE" (a +. 1.0) (Q.ae_ge_factor a);
+      check_float "AE->NE = 3(a+1)" (3.0 *. (a +. 1.0)) (Q.ae_ne_factor a);
+      check_float "GE->NE" 3.0 Q.ge_ne_factor;
+      check_true "chain consistent" (Q.ae_ne_factor a = Q.ge_ne_factor *. Q.ae_ge_factor a))
+    [ 0.5; 1.0; 4.0 ]
+
+let test_spanner_bounds () =
+  check_float "AE spanner" 4.0 (Q.ae_spanner_stretch 3.0);
+  check_float "OPT spanner" 2.5 (Q.opt_spanner_stretch 3.0);
+  check_true "OPT tighter than AE"
+    (Q.opt_spanner_stretch 3.0 < Q.ae_spanner_stretch 3.0)
+
+let test_social_ratio () =
+  check_float "ratio" 2.0 (Q.social_ratio ~ne_cost:10.0 ~opt_cost:5.0);
+  Alcotest.check_raises "zero opt rejected"
+    (Invalid_argument "Quality.social_ratio: non-positive optimum") (fun () ->
+      ignore (Q.social_ratio ~ne_cost:1.0 ~opt_cost:0.0))
+
+let test_host_stretch_of_complete_host () =
+  let host =
+    Gncg.Host.make ~alpha:1.0
+      (Gncg_metric.Random_host.uniform_metric (rng 1400) ~n:8 ~lo:1.0 ~hi:5.0)
+  in
+  let g = Gncg_metric.Metric.complete_graph (Gncg.Host.metric host) in
+  check_float ~tol:1e-9 "complete host has stretch 1" 1.0 (Q.host_stretch host g)
+
+let suites =
+  [
+    ( "quality",
+      [
+        case "metric upper" test_metric_upper_values;
+        case "general upper is square" test_general_upper_is_square;
+        case "1-2 formulas" test_onetwo_formulas;
+        case "four-point limits" test_fourpoint_limits;
+        case "cross lower shape" test_cross_lower_shape;
+        case "approximation chain" test_approx_chain;
+        case "spanner bounds" test_spanner_bounds;
+        case "social ratio" test_social_ratio;
+        case "stretch of complete host" test_host_stretch_of_complete_host;
+      ] );
+  ]

@@ -1,0 +1,83 @@
+open Helpers
+module S = Gncg.Serialize
+module Prng = Gncg_util.Prng
+
+let test_host_roundtrip () =
+  let r = rng 1500 in
+  List.iter
+    (fun model ->
+      let host = Gncg_workload.Instances.random_host r model ~n:7 ~alpha:2.25 in
+      let host' = S.host_of_string (S.host_to_string host) in
+      check_float "alpha preserved" (Gncg.Host.alpha host) (Gncg.Host.alpha host');
+      check_true "metric preserved"
+        (Gncg_metric.Metric.equal ~tol:0.0 (Gncg.Host.metric host) (Gncg.Host.metric host')))
+    Gncg_workload.Instances.default_models
+
+let test_profile_roundtrip () =
+  let r = rng 1501 in
+  let host = Gncg_workload.Instances.random_host r (List.hd Gncg_workload.Instances.default_models) ~n:8 ~alpha:1.0 in
+  for _ = 1 to 5 do
+    let s = Gncg_workload.Instances.random_profile r host in
+    let s' = S.profile_of_string (S.profile_to_string s) in
+    check_true "profile preserved" (Gncg.Strategy.equal s s')
+  done
+
+let test_infinite_weights_roundtrip () =
+  let m = Gncg_metric.One_inf.of_allowed_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let host = Gncg.Host.make ~alpha:3.0 m in
+  let host' = S.host_of_string (S.host_to_string host) in
+  check_true "forbidden edge stays infinite"
+    (Gncg.Host.weight host' 0 3 = Float.infinity);
+  check_float "allowed edge" 1.0 (Gncg.Host.weight host' 0 1)
+
+let test_file_roundtrip () =
+  let host = Gncg_constructions.Thm15_tree_star.host ~alpha:2.0 ~n:5 in
+  let path = Filename.temp_file "gncg" ".host" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.host_to_file path host;
+      let host' = S.host_of_file path in
+      check_true "file roundtrip"
+        (Gncg_metric.Metric.equal ~tol:0.0 (Gncg.Host.metric host) (Gncg.Host.metric host')));
+  let s = Gncg_constructions.Thm15_tree_star.ne_profile ~alpha:2.0 ~n:5 in
+  let path = Filename.temp_file "gncg" ".profile" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      S.profile_to_file path s;
+      check_true "profile file roundtrip" (Gncg.Strategy.equal s (S.profile_of_file path)))
+
+let expect_failure name f =
+  match f () with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.failf "%s: expected Failure" name
+
+let test_malformed_rejected () =
+  expect_failure "empty" (fun () -> S.host_of_string "");
+  expect_failure "wrong magic" (fun () -> S.host_of_string "gncg-profile 1\nn 2\nalpha 1\n");
+  expect_failure "missing alpha" (fun () -> S.host_of_string "gncg-host 1\nn 2\n");
+  expect_failure "bad pair" (fun () ->
+      S.host_of_string "gncg-host 1\nn 2\nalpha 1\nw 0 5 1.0\n");
+  expect_failure "bad number" (fun () ->
+      S.host_of_string "gncg-host 1\nn 2\nalpha 1\nw 0 1 zzz\n");
+  expect_failure "self purchase" (fun () ->
+      S.profile_of_string "gncg-profile 1\nn 3\nbuy 1 1\n")
+
+let test_comments_and_blank_lines () =
+  let text = "gncg-host 1\n\n# a comment\nn 2\nalpha 1.5\nw 0 1 2.0\n\n" in
+  let host = S.host_of_string text in
+  check_float "weight parsed" 2.0 (Gncg.Host.weight host 0 1)
+
+let suites =
+  [
+    ( "serialize",
+      [
+        case "host roundtrip (all models)" test_host_roundtrip;
+        case "profile roundtrip" test_profile_roundtrip;
+        case "infinite weights" test_infinite_weights_roundtrip;
+        case "file roundtrip" test_file_roundtrip;
+        case "malformed rejected" test_malformed_rejected;
+        case "comments tolerated" test_comments_and_blank_lines;
+      ] );
+  ]

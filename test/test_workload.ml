@@ -1,0 +1,123 @@
+open Helpers
+module W = Gncg_workload
+module Prng = Gncg_util.Prng
+
+let test_models_produce_valid_hosts () =
+  let r = rng 1000 in
+  List.iter
+    (fun model ->
+      let m = W.Instances.random_metric r model ~n:9 in
+      Alcotest.(check int) "size" 9 (Gncg_metric.Metric.n m);
+      match model with
+      | W.Instances.One_two _ ->
+        check_true "1-2 weights" (Gncg_metric.One_two.is_one_two m)
+      | W.Instances.Tree _ ->
+        check_true "tree metric" (Gncg_metric.Tree_metric.is_tree_metric m)
+      | W.Instances.Euclid _ | W.Instances.Graph_metric _ ->
+        check_true "metric" (Gncg_metric.Metric.is_metric m)
+      | W.Instances.General _ ->
+        check_true "finite weights" (Float.is_finite (Gncg_metric.Metric.max_finite_weight m))
+      | W.Instances.One_inf _ ->
+        check_true "1-inf weights" (Gncg_metric.One_inf.is_one_inf m))
+    W.Instances.default_models
+
+let test_random_profile_connected () =
+  let r = rng 1001 in
+  List.iter
+    (fun model ->
+      let host = W.Instances.random_host r model ~n:9 ~alpha:2.0 in
+      let s = W.Instances.random_profile r host in
+      check_true "profile connects all agents" (Gncg.Network.is_connected host s);
+      check_true "no double purchases" (Gncg.Strategy.double_bought s = []);
+      (* Only affordable edges are bought. *)
+      List.iter
+        (fun (u, v) ->
+          check_true "finite edge" (Float.is_finite (Gncg.Host.weight host u v)))
+        (Gncg.Strategy.owned_edges s))
+    W.Instances.default_models
+
+let test_model_names_distinct () =
+  let names = List.map W.Instances.model_name W.Instances.default_models in
+  Alcotest.(check int) "distinct names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_dynamics_run_record () =
+  let run =
+    W.Sweep.dynamics_run (W.Instances.Tree { wmin = 1.0; wmax = 5.0 }) ~n:6 ~alpha:2.0
+      ~seed:3
+  in
+  check_true "opt positive" (run.W.Sweep.opt_cost > 0.0);
+  if run.W.Sweep.converged then begin
+    check_true "ratio >= 1" (run.W.Sweep.ratio >= 1.0 -. 1e-9);
+    check_true "stable cost consistent"
+      (approx ~tol:1e-6 run.W.Sweep.stable_cost (run.W.Sweep.ratio *. run.W.Sweep.opt_cost));
+    (* Thm 12: tree-metric greedy equilibria found here are trees. *)
+    check_true "tree-shaped" run.W.Sweep.is_tree
+  end
+
+let test_batch_shape () =
+  let runs =
+    W.Sweep.dynamics_batch
+      (W.Instances.One_two { p_one = 0.5 })
+      ~ns:[ 5; 6 ] ~alphas:[ 0.4; 2.0 ] ~seeds:[ 1; 2 ]
+  in
+  Alcotest.(check int) "cartesian size" 8 (List.length runs);
+  let fraction = W.Sweep.converged_fraction runs in
+  check_true "fraction in [0,1]" (fraction >= 0.0 && fraction <= 1.0);
+  List.iter
+    (fun (r : W.Sweep.run) -> check_true "stretch sane" (r.stretch >= 1.0 -. 1e-9))
+    (List.filter (fun (r : W.Sweep.run) -> r.converged) runs)
+
+let test_structured_output () =
+  let runs =
+    W.Sweep.dynamics_batch
+      (W.Instances.Tree { wmin = 1.0; wmax = 5.0 })
+      ~ns:[ 5 ] ~alphas:[ 1.0 ] ~seeds:[ 1; 2 ]
+  in
+  let csv = W.Report.runs_to_csv runs in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "csv: header + one line per run" 3 (List.length lines);
+  check_true "csv header"
+    (String.length (List.hd lines) > 0 && String.sub (List.hd lines) 0 5 = "model");
+  List.iter
+    (fun l ->
+      Alcotest.(check int) "csv arity" 12
+        (List.length (String.split_on_char ',' l)))
+    lines;
+  let json = W.Report.runs_to_json runs in
+  check_true "json array" (json.[0] = '[' && json.[String.length json - 1] = ']');
+  check_true "json has fields"
+    (String.length json > 2
+    && List.for_all
+         (fun needle ->
+           let rec contains i =
+             i + String.length needle <= String.length json
+             && (String.sub json i (String.length needle) = needle || contains (i + 1))
+           in
+           contains 0)
+         [ "\"model\""; "\"ratio\""; "\"is_tree\"" ])
+
+let test_report_renders () =
+  let runs =
+    W.Sweep.dynamics_batch
+      (W.Instances.Tree { wmin = 1.0; wmax = 5.0 })
+      ~ns:[ 5 ] ~alphas:[ 1.0 ] ~seeds:[ 1 ]
+  in
+  (* Smoke: the printers must not raise. *)
+  W.Report.print_runs runs;
+  W.Report.print_ratio_summary ~group_label:"model" [ ("tree", runs) ];
+  W.Report.series ~title:"t" ~header:[ "a" ] ~rows:[ [ "1" ] ]
+
+let suites =
+  [
+    ( "workload",
+      [
+        case "models produce valid hosts" test_models_produce_valid_hosts;
+        case "random profiles connected & affordable" test_random_profile_connected;
+        case "model names distinct" test_model_names_distinct;
+        case "dynamics run record" test_dynamics_run_record;
+        case "batch shape" test_batch_shape;
+        case "report rendering" test_report_renders;
+        case "csv & json output" test_structured_output;
+      ] );
+  ]
