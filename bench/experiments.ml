@@ -678,8 +678,9 @@ let e18_one_inf () =
         let host = Gncg.Host.make ~alpha (Gncg_metric.One_inf.random_connected r ~n:12 ~p:0.25) in
         let start = W.Instances.random_profile r host in
         match
-          Gncg.Dynamics.run ~max_steps:4000 ~rule:Gncg.Dynamics.Greedy_response
-            ~scheduler:Gncg.Dynamics.Round_robin host start
+          Gncg.Dynamics.run ~max_steps:4000 ~evaluator:`Incremental
+            ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host
+            start
         with
         | Gncg.Dynamics.Converged { profile; _ } ->
           let c = Gncg.Cost.social_cost host profile in
@@ -780,7 +781,7 @@ let e20_convergence_speed () =
                 let host = W.Instances.random_host r model ~n ~alpha:2.0 in
                 let start = W.Instances.random_profile r host in
                 match
-                  Gncg.Dynamics.run ~max_steps:8000 ~rule
+                  Gncg.Dynamics.run ~max_steps:8000 ~evaluator:`Incremental ~rule
                     ~scheduler:Gncg.Dynamics.Round_robin host start
                 with
                 | Gncg.Dynamics.Converged { steps; _ } ->
@@ -835,7 +836,7 @@ let e21_scaling () =
           let start = W.Instances.random_profile r host in
           let t0 = Sys.time () in
           match
-            Gncg.Dynamics.run ~max_steps:20_000 ~evaluator:`Fast
+            Gncg.Dynamics.run ~max_steps:20_000 ~evaluator:`Incremental
               ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host
               start
           with

@@ -5,10 +5,25 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- E4 E8        # selected experiments
      dune exec bench/main.exe -- --no-timings # experiments only
-     dune exec bench/main.exe -- --timings    # timings only *)
+     dune exec bench/main.exe -- --timings    # timings only
+     dune exec bench/main.exe -- --domains 4  # worker domains for _parallel paths *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    let rec strip_domains = function
+      | "--domains" :: d :: rest ->
+        (match int_of_string_opt d with
+        | Some k when k >= 1 -> Gncg_util.Parallel.set_default_domains (Some k)
+        | _ ->
+          prerr_endline ("bench: --domains expects a positive integer, got " ^ d);
+          exit 2);
+        strip_domains rest
+      | a :: rest -> a :: strip_domains rest
+      | [] -> []
+    in
+    strip_domains args
+  in
   let timings_only = List.mem "--timings" args in
   let no_timings = List.mem "--no-timings" args in
   let selected = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in

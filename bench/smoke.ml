@@ -1,0 +1,55 @@
+(* Bench smoke target (`dune build @bench-smoke`): one quick timing
+   iteration of the hot-path engines, with hard equivalence assertions so
+   a perf regression or a semantics drift in the incremental/parallel
+   paths fails loudly in CI.  Full statistics live in timings.ml. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("bench-smoke: " ^ msg); exit 1) fmt
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (match args with
+  | "--domains" :: d :: _ -> (
+    match int_of_string_opt d with
+    | Some k when k >= 1 -> Gncg_util.Parallel.set_default_domains (Some k)
+    | _ -> fail "--domains expects a positive integer, got %S" d)
+  | _ -> ());
+  let rng = Gncg_util.Prng.create 7 in
+  let n = 60 in
+  let host =
+    Gncg.Host.make ~alpha:2.0
+      (Gncg_metric.Random_host.uniform_metric rng ~n ~lo:1.0 ~hi:6.0)
+  in
+  let start = Gncg_workload.Instances.random_profile rng host in
+  let run evaluator =
+    Gncg.Dynamics.run ~max_steps:4000 ~evaluator ~rule:Gncg.Dynamics.Greedy_response
+      ~scheduler:Gncg.Dynamics.Round_robin host start
+  in
+  let reference, t_ref = time (fun () -> run `Reference) in
+  let incremental, t_inc = time (fun () -> run `Incremental) in
+  let profile_of = function
+    | Gncg.Dynamics.Converged { profile; _ } -> profile
+    | _ -> fail "greedy dynamics did not converge (n=%d)" n
+  in
+  let p_ref = profile_of reference and p_inc = profile_of incremental in
+  (* Tie-breaking may differ within tolerance: both must be greedy-stable
+     with matching social cost, not bit-identical histories. *)
+  if not (Gncg.Equilibrium.is_ge host p_inc) then
+    fail "incremental dynamics converged to a non-GE profile";
+  let c_ref = Gncg.Cost.social_cost host p_ref in
+  let c_inc = Gncg.Cost.social_cost host p_inc in
+  if not (Gncg_util.Flt.approx_eq ~tol:1e-6 c_ref c_inc) then
+    fail "reference/incremental stable costs diverge: %.9f vs %.9f" c_ref c_inc;
+  Printf.printf "dynamics n=%d: reference %.3f s, incremental %.3f s (%.1fx)\n%!" n t_ref
+    t_inc (t_ref /. t_inc);
+  let seq, t_seq = time (fun () -> Gncg.Equilibrium.is_ge host p_inc) in
+  let par, t_par = time (fun () -> Gncg.Equilibrium.is_ge_parallel host p_inc) in
+  if seq <> par then fail "sequential/parallel is_ge disagree";
+  Printf.printf "is_ge n=%d: sequential %.3f s, parallel %.3f s (%.1fx, %d domains)\n%!" n
+    t_seq t_par (t_seq /. t_par)
+    (Gncg_util.Parallel.default_domains ());
+  print_endline "bench-smoke ok"

@@ -20,6 +20,19 @@ let prepared () =
   in
   let host10 = metric_host 10 in
   let profile10 = Gncg_workload.Instances.random_profile rng host10 in
+  let ge_of host start =
+    match
+      Gncg.Dynamics.run ~max_steps:50_000 ~evaluator:`Incremental
+        ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host start
+    with
+    | Gncg.Dynamics.Converged { profile; _ } -> profile
+    | _ -> start
+  in
+  let host100 = metric_host 100 in
+  let start100 = Gncg_workload.Instances.random_profile rng host100 in
+  let ge100 = ge_of host100 start100 in
+  let host40 = metric_host 40 in
+  let ge40 = ge_of host40 (Gncg_workload.Instances.random_profile rng host40) in
   let host12_12 = one_two_host 40 in
   let tree_host =
     Gncg_constructions.Thm15_tree_star.host ~alpha:4.0 ~n:32
@@ -92,6 +105,52 @@ let prepared () =
       (Staged.stage
          (let dm = Gncg_graph.Dist_matrix.of_graph graph200 in
           fun () -> ignore (Gncg_graph.Dist_matrix.total_with_edge_added dm 0 199 0.5)));
+    (* Hot path: greedy response dynamics, reference (rebuild + Dijkstra
+       per candidate) vs the incremental distance engine.  Same host,
+       start profile and activation schedule; fixed step budget so the
+       two measure identical work. *)
+    Test.make ~name:"dynamics/greedy reference (n=100, 100 steps)" (Staged.stage (fun () ->
+        ignore
+          (Gncg.Dynamics.run ~max_steps:100 ~evaluator:`Reference
+             ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin
+             host100 start100)));
+    Test.make ~name:"dynamics/greedy incremental (n=100, 100 steps)" (Staged.stage (fun () ->
+        ignore
+          (Gncg.Dynamics.run ~max_steps:100 ~evaluator:`Incremental
+             ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin
+             host100 start100)));
+    (* Equilibrium verification: sequential vs domain-parallel per-agent
+       scans.  [is_ge] is the polynomial scan; [is_ne] runs the exact
+       (exponential) best-response oracle per agent, so it is benched at
+       the largest n where that oracle is feasible. *)
+    Test.make ~name:"equilibrium/is_ge sequential (n=100)" (Staged.stage (fun () ->
+        ignore (Gncg.Equilibrium.is_ge host100 ge100)));
+    Test.make ~name:"equilibrium/is_ge parallel (n=100)" (Staged.stage (fun () ->
+        ignore (Gncg.Equilibrium.is_ge_parallel host100 ge100)));
+    Test.make ~name:"equilibrium/is_ne sequential (n=40)" (Staged.stage (fun () ->
+        ignore (Gncg.Equilibrium.is_ne host40 ge40)));
+    Test.make ~name:"equilibrium/is_ne parallel (n=40)" (Staged.stage (fun () ->
+        ignore (Gncg.Equilibrium.is_ne_parallel host40 ge40)));
+    (* Incremental APSP maintenance: one edge flip (insert + delete, the
+       net work of a dynamics step) vs recomputing APSP from scratch. *)
+    Test.make ~name:"incr/edge flip update (n=200)"
+      (Staged.stage
+         (let incr = Gncg_graph.Incr_apsp.of_graph graph200 in
+          let u, v =
+            let g = Gncg_graph.Incr_apsp.graph incr in
+            let rec pick u v =
+              if not (Gncg_graph.Wgraph.has_edge g u v) then (u, v)
+              else if v + 1 < 200 then pick u (v + 1)
+              else pick (u + 1) (u + 2)
+            in
+            pick 0 1
+          in
+          let w = Gncg.Host.weight host200 u v in
+          fun () ->
+            Gncg_graph.Incr_apsp.add_edge incr u v w;
+            Gncg_graph.Incr_apsp.remove_edge incr u v));
+    Test.make ~name:"incr/apsp rebuild (n=200)" (Staged.stage (fun () ->
+        ignore (Gncg_graph.Dijkstra.apsp graph200)));
     (* Social optimum engines at test scale. *)
     Test.make ~name:"optimum/branch&bound (n=6)" (Staged.stage (fun () ->
         ignore (Gncg.Social_optimum.exact_bnb host6)));

@@ -33,9 +33,29 @@ let n_arg = Arg.(value & opt int 8 & info [ "n" ] ~doc:"number of agents")
 
 let seeds_arg = Arg.(value & opt int 5 & info [ "seeds" ] ~doc:"seeded repetitions")
 
+let positive_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok d when d >= 1 -> Ok d
+    | Ok _ -> Error (`Msg "expected a positive integer")
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
+let domains_arg =
+  Arg.(value
+       & opt (some positive_int) None
+       & info [ "domains" ]
+           ~doc:
+             "parallel domain count for the multicore scans (default: the \
+              hardware-recommended count)")
+
+let set_domains domains = Gncg_util.Parallel.set_default_domains domains
+
 (* --- sweep ----------------------------------------------------------- *)
 
-let sweep model n alpha seeds format =
+let sweep model n alpha seeds format domains =
+  set_domains domains;
   let runs =
     List.init seeds (fun seed ->
         Gncg_workload.Sweep.dynamics_run model ~n ~alpha ~seed:(seed + 1))
@@ -54,7 +74,7 @@ let format_arg =
 let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"run response dynamics over random instances")
-    Term.(const sweep $ model_arg $ n_arg $ alpha_arg $ seeds_arg $ format_arg)
+    Term.(const sweep $ model_arg $ n_arg $ alpha_arg $ seeds_arg $ format_arg $ domains_arg)
 
 (* --- construct -------------------------------------------------------- *)
 
@@ -156,7 +176,8 @@ let construct_cmd =
 
 (* --- check ---------------------------------------------------------------- *)
 
-let check_files host_path profile_path =
+let check_files host_path profile_path domains =
+  set_domains domains;
   let host = Gncg.Serialize.host_of_file host_path in
   let profile = Gncg.Serialize.profile_of_file profile_path in
   if Gncg.Strategy.n profile <> Gncg.Host.n host then begin
@@ -167,10 +188,10 @@ let check_files host_path profile_path =
   Printf.printf "agents            %d\n" (Gncg.Host.n host);
   Printf.printf "metric host       %b\n" (Gncg_metric.Metric.is_metric (Gncg.Host.metric host));
   Printf.printf "social cost       %.4f\n" (Gncg.Cost.social_cost host profile);
-  Printf.printf "add-only stable   %b\n" (Gncg.Equilibrium.is_ae host profile);
-  Printf.printf "greedy stable     %b\n" (Gncg.Equilibrium.is_ge host profile);
+  Printf.printf "add-only stable   %b\n" (Gncg.Equilibrium.is_ae_parallel host profile);
+  Printf.printf "greedy stable     %b\n" (Gncg.Equilibrium.is_ge_parallel host profile);
   if Gncg.Host.n host <= 12 then begin
-    match Gncg.Equilibrium.certify Gncg.Equilibrium.NE host profile with
+    match Gncg.Equilibrium.certify_parallel Gncg.Equilibrium.NE host profile with
     | Ok () -> print_endline "Nash equilibrium  true"
     | Error grievances ->
       print_endline "Nash equilibrium  false";
@@ -189,7 +210,7 @@ let profile_path_arg =
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"check equilibrium properties of a saved instance")
-    Term.(const check_files $ host_path_arg $ profile_path_arg)
+    Term.(const check_files $ host_path_arg $ profile_path_arg $ domains_arg)
 
 (* --- cycles ------------------------------------------------------------ *)
 
@@ -232,7 +253,8 @@ let br_cmd =
 
 (* --- stats --------------------------------------------------------------- *)
 
-let stats model n alpha seed =
+let stats model n alpha seed domains =
+  set_domains domains;
   let rng = Gncg_util.Prng.create seed in
   let host = Gncg_workload.Instances.random_host rng model ~n ~alpha in
   let module T = Gncg_util.Tablefmt in
@@ -258,7 +280,7 @@ let stats model n alpha seed =
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"network statistics of optimum / MST / equilibrium designs")
-    Term.(const stats $ model_arg $ n_arg $ alpha_arg $ seed_arg)
+    Term.(const stats $ model_arg $ n_arg $ alpha_arg $ seed_arg $ domains_arg)
 
 let () =
   let doc = "Geometric Network Creation Games engine" in

@@ -26,6 +26,9 @@ let agent_cost ?graph host s u =
   let p = agent_parts ?graph host s u in
   p.edge +. p.dist
 
+let agent_cost_with_dists host s u dists =
+  agent_edge_cost host s u +. Flt.sum dists
+
 let social_parts host s =
   let g = Network.graph host s in
   let n = Strategy.n s in

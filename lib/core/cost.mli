@@ -16,6 +16,11 @@ val agent_dist_cost : ?graph:Gncg_graph.Wgraph.t -> Host.t -> Strategy.t -> int 
 
 val agent_cost : ?graph:Gncg_graph.Wgraph.t -> Host.t -> Strategy.t -> int -> float
 
+val agent_cost_with_dists : Host.t -> Strategy.t -> int -> float array -> float
+(** [agent_cost] given an already-known distance row for the agent (e.g.
+    from the incrementally maintained matrix of [Net_state]): O(n), no
+    graph work. *)
+
 val agent_parts : ?graph:Gncg_graph.Wgraph.t -> Host.t -> Strategy.t -> int -> parts
 
 val social_cost : Host.t -> Strategy.t -> float

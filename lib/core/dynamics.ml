@@ -15,28 +15,41 @@ type outcome =
   | Cycle of { profiles : Strategy.t list; steps : step list }
   | Out_of_steps of { profile : Strategy.t; steps : step list }
 
-let deviation ?(evaluator = `Reference) rule host s u =
-  let current = Cost.agent_cost host s u in
+let rule_kinds = function Add_only -> [ `Add ] | _ -> [ `Add; `Delete; `Swap ]
+
+(* Like [deviation], but also reports the mover's current cost so the
+   caller never has to recompute it for the step record. *)
+let deviation_full ?(evaluator = `Reference) rule host s u =
   match rule with
   | Best_response ->
+    let current = Cost.agent_cost host s u in
     let set, cost = Best_response.exact host s u in
-    if Flt.lt cost current then Some (Strategy.with_strategy s u set, current -. cost)
+    if Flt.lt cost current then
+      Some (Strategy.with_strategy s u set, current -. cost, current)
     else None
   | Greedy_response | Add_only ->
-    let kinds = match rule with Add_only -> [ `Add ] | _ -> [ `Add; `Delete; `Swap ] in
-    let best =
+    let kinds = rule_kinds rule in
+    let best, current =
       match evaluator with
-      | `Reference -> Greedy.best_move ~kinds host s ~agent:u
-      | `Fast -> Fast_response.best_move ~kinds host s ~agent:u
+      | `Reference ->
+        let graph = Network.graph host s in
+        (Greedy.best_move ~kinds ~graph host s ~agent:u, Cost.agent_cost ~graph host s u)
+      | `Fast | `Incremental ->
+        (* Without a threaded state, [`Incremental] degrades to the
+           stateless fast evaluator. *)
+        (Fast_response.best_move ~kinds host s ~agent:u, Cost.agent_cost host s u)
     in
     (match best with
-    | Some (mv, gain) -> Some (Move.apply s ~agent:u mv, gain)
+    | Some (mv, gain) -> Some (Move.apply s ~agent:u mv, gain, current)
     | None -> None)
   | Random_improving rng ->
+    let graph = Network.graph host s in
+    let before = Cost.agent_cost ~graph host s u in
     let improving =
       List.filter_map
         (fun mv ->
-          let gain = Greedy.move_gain host s ~agent:u mv in
+          let after = Cost.agent_cost host (Move.apply s ~agent:u mv) u in
+          let gain = if Flt.approx_eq before after then 0.0 else before -. after in
           if gain > Flt.eps then Some (mv, gain) else None)
         (Move.candidates host s ~agent:u)
     in
@@ -45,10 +58,32 @@ let deviation ?(evaluator = `Reference) rule host s u =
     | _ ->
       let arr = Array.of_list improving in
       let mv, gain = arr.(Gncg_util.Prng.int rng (Array.length arr)) in
-      Some (Move.apply s ~agent:u mv, gain))
+      Some (Move.apply s ~agent:u mv, gain, before))
 
-let run ?(max_steps = 10_000) ?evaluator ~rule ~scheduler host start =
+let deviation ?evaluator rule host s u =
+  Option.map (fun (s', gain, _) -> (s', gain)) (deviation_full ?evaluator rule host s u)
+
+let run ?(max_steps = 10_000) ?(evaluator = `Reference) ~rule ~scheduler host start =
   let n = Strategy.n start in
+  (* The incremental evaluator threads one mutable state (network + full
+     distance matrix) through the whole run: a step then costs an O(n²)
+     insertion update (or an affected-sources deletion) instead of a
+     network rebuild plus Dijkstra per candidate. *)
+  let state =
+    match (evaluator, rule) with
+    | `Incremental, (Greedy_response | Add_only) -> Some (Net_state.create host start)
+    | _ -> None
+  in
+  let attempt s u =
+    match state with
+    | Some st -> (
+      match Fast_response.best_move_state ~kinds:(rule_kinds rule) st ~agent:u with
+      | None -> None
+      | Some (mv, gain) ->
+        let before = Net_state.agent_cost st u in
+        Some (Net_state.apply_move st ~agent:u mv, gain, before))
+    | None -> deviation_full ~evaluator rule host s u
+  in
   let seen = Hashtbl.create 97 in
   (* Trace of profiles since the start, newest first, for cycle extraction.
      A revisited profile certifies an improving-move cycle under any
@@ -85,12 +120,11 @@ let run ?(max_steps = 10_000) ?evaluator ~rule ~scheduler host start =
       let u = next_agent step_idx in
       if idle.(u) then go s (step_idx + 1)
       else
-      match deviation ?evaluator rule host s u with
+      match attempt s u with
       | None ->
         mark_idle u;
         go s (step_idx + 1)
-      | Some (s', gain) ->
-        let before = Cost.agent_cost host s u in
+      | Some (s', gain, before) ->
         steps := { mover = u; before_cost = before; after_cost = before -. gain } :: !steps;
         let key = Strategy.canonical_key s' in
         (match Hashtbl.find_opt seen key with

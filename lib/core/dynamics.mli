@@ -36,7 +36,7 @@ type outcome =
 
 val run :
   ?max_steps:int ->
-  ?evaluator:[ `Reference | `Fast ] ->
+  ?evaluator:[ `Reference | `Fast | `Incremental ] ->
   rule:rule ->
   scheduler:scheduler ->
   Host.t ->
@@ -45,17 +45,26 @@ val run :
 (** Runs until convergence, cycle detection or [max_steps] (default 10_000)
     agent activations.  Convergence means a full pass over all agents
     without an improving move.  [evaluator] selects the single-move engine
-    for [Greedy_response]/[Add_only]: the [`Reference] implementation
-    (default) or the incremental [`Fast] one — semantically equivalent
-    (property-tested) but faster on larger hosts; tie-breaking may differ
-    within float tolerance. *)
+    for [Greedy_response]/[Add_only]:
+
+    - [`Reference] (default): rebuild + Dijkstra per candidate — obviously
+      correct;
+    - [`Fast]: the stateless incremental evaluation of [Fast_response];
+    - [`Incremental]: one [Net_state] threaded through the whole run — the
+      network and its full distance matrix are maintained across steps, so
+      a step costs O(n²) instead of a rebuild plus Dijkstra per candidate.
+
+    All three are semantically equivalent (property-tested); tie-breaking
+    may differ within float tolerance. *)
 
 val deviation :
-  ?evaluator:[ `Reference | `Fast ] ->
+  ?evaluator:[ `Reference | `Fast | `Incremental ] ->
   rule ->
   Host.t ->
   Strategy.t ->
   int ->
   (Strategy.t * float) option
 (** One improving deviation for an agent under the rule, with its gain:
-    the building block of [run], exposed for tests and tools. *)
+    the building block of [run], exposed for tests and tools.  Stateless:
+    [`Incremental] behaves like [`Fast] here (the threaded state only
+    exists inside [run]). *)

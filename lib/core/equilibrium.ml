@@ -1,20 +1,23 @@
 module Flt = Gncg_util.Flt
+module Parallel = Gncg_util.Parallel
 
 type kind = NE | GE | AE
 
 let kinds_of = function AE -> [ `Add ] | GE -> [ `Add; `Delete; `Swap ] | NE -> []
 
-let best_deviation_cost ?(oracle = `Branch_and_bound) kind host s u =
+let best_deviation_cost ?(oracle = `Branch_and_bound) ?graph kind host s u =
   match kind with
   | NE -> (
     match oracle with
     | `Branch_and_bound -> snd (Best_response.exact host s u)
     | `Enumerate -> snd (Best_response.exact_enum host s u))
-  | GE | AE -> Greedy.best_single_move_cost ~kinds:(kinds_of kind) host s ~agent:u
+  | GE | AE -> Greedy.best_single_move_cost ~kinds:(kinds_of kind) ?graph host s ~agent:u
 
 let agent_happy ?oracle kind host s u =
-  let current = Cost.agent_cost host s u in
-  let best = best_deviation_cost ?oracle kind host s u in
+  (* One network build shared by the incumbent cost and the move scan. *)
+  let graph = Network.graph host s in
+  let current = Cost.agent_cost ~graph host s u in
+  let best = best_deviation_cost ?oracle ~graph kind host s u in
   Flt.le current best
 
 let for_all_agents f s =
@@ -31,10 +34,30 @@ let is_ne ?oracle host s = for_all_agents (agent_happy ?oracle NE host s) s
 let is_equilibrium kind host s =
   match kind with AE -> is_ae host s | GE -> is_ge host s | NE -> is_ne host s
 
+(* Parallel scans: the per-agent check is pure on immutable host/profile
+   data, so agents fan out across domains; the boolean checks early-exit
+   as soon as any domain finds an unhappy agent. *)
+
+let is_ae_parallel ?domains host s =
+  Parallel.for_all ?domains (Strategy.n s) (agent_happy AE host s)
+
+let is_ge_parallel ?domains host s =
+  Parallel.for_all ?domains (Strategy.n s) (agent_happy GE host s)
+
+let is_ne_parallel ?oracle ?domains host s =
+  Parallel.for_all ?domains (Strategy.n s) (agent_happy ?oracle NE host s)
+
+let is_equilibrium_parallel ?domains kind host s =
+  match kind with
+  | AE -> is_ae_parallel ?domains host s
+  | GE -> is_ge_parallel ?domains host s
+  | NE -> is_ne_parallel ?domains host s
+
 let agent_approx_factor kind host s u =
-  let current = Cost.agent_cost host s u in
-  let best = best_deviation_cost kind host s u in
-  if current = best then 1.0
+  let graph = Network.graph host s in
+  let current = Cost.agent_cost ~graph host s u in
+  let best = best_deviation_cost ~graph kind host s u in
+  if Flt.approx_eq current best then 1.0
   else if best <= 0.0 then if current <= 0.0 then 1.0 else Float.infinity
   else current /. best
 
@@ -54,6 +77,11 @@ let unhappy_agents kind host s =
   let n = Strategy.n s in
   List.filter (fun u -> not (agent_happy kind host s u)) (List.init n (fun u -> u))
 
+let unhappy_agents_parallel ?domains kind host s =
+  let n = Strategy.n s in
+  let happy = Parallel.init ?domains n (agent_happy kind host s) in
+  List.filter (fun u -> not happy.(u)) (List.init n (fun u -> u))
+
 type grievance = {
   agent : int;
   current_cost : float;
@@ -61,22 +89,22 @@ type grievance = {
   deviation : Strategy.ISet.t option;
 }
 
-let certify kind host s =
-  let n = Strategy.n s in
-  let grievances = ref [] in
-  for u = 0 to n - 1 do
-    let current = Cost.agent_cost host s u in
-    let best, deviation =
-      match kind with
-      | NE ->
-        let set, cost = Best_response.exact host s u in
-        (cost, Some set)
-      | GE | AE -> (Greedy.best_single_move_cost ~kinds:(kinds_of kind) host s ~agent:u, None)
-    in
-    if Flt.lt best current then
-      grievances := { agent = u; current_cost = current; best_cost = best; deviation } :: !grievances
-  done;
-  match !grievances with
+let agent_grievance kind host s u =
+  let graph = Network.graph host s in
+  let current = Cost.agent_cost ~graph host s u in
+  let best, deviation =
+    match kind with
+    | NE ->
+      let set, cost = Best_response.exact host s u in
+      (cost, Some set)
+    | GE | AE ->
+      (Greedy.best_single_move_cost ~kinds:(kinds_of kind) ~graph host s ~agent:u, None)
+  in
+  if Flt.lt best current then
+    Some { agent = u; current_cost = current; best_cost = best; deviation }
+  else None
+
+let verdict_of_grievances = function
   | [] -> Ok ()
   | gs ->
     Error
@@ -84,6 +112,16 @@ let certify kind host s =
          (fun a b ->
            Float.compare (b.current_cost -. b.best_cost) (a.current_cost -. a.best_cost))
          gs)
+
+let certify kind host s =
+  let n = Strategy.n s in
+  verdict_of_grievances
+    (List.filter_map (agent_grievance kind host s) (List.init n (fun u -> u)))
+
+let certify_parallel ?domains kind host s =
+  let n = Strategy.n s in
+  let per_agent = Parallel.init ?domains n (agent_grievance kind host s) in
+  verdict_of_grievances (List.filter_map Fun.id (Array.to_list per_agent))
 
 let pp_grievance fmt g =
   Format.fprintf fmt "agent %d pays %.4f but could pay %.4f" g.agent g.current_cost

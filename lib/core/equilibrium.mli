@@ -20,6 +20,19 @@ val is_ne : ?oracle:[ `Branch_and_bound | `Enumerate ] -> Host.t -> Strategy.t -
 
 val is_equilibrium : kind -> Host.t -> Strategy.t -> bool
 
+val is_ae_parallel : ?domains:int -> Host.t -> Strategy.t -> bool
+
+val is_ge_parallel : ?domains:int -> Host.t -> Strategy.t -> bool
+
+val is_ne_parallel :
+  ?oracle:[ `Branch_and_bound | `Enumerate ] -> ?domains:int -> Host.t -> Strategy.t -> bool
+(** Parallel variants of the boolean checks: agents fan out across OCaml 5
+    domains with an early exit once any domain finds an unhappy agent.
+    Same verdict as the sequential checks (property-tested); only the
+    set of agents actually inspected on a negative answer differs. *)
+
+val is_equilibrium_parallel : ?domains:int -> kind -> Host.t -> Strategy.t -> bool
+
 val agent_approx_factor : kind -> Host.t -> Strategy.t -> int -> float
 (** [cost(u) / best-deviation-cost(u)] for one agent (1 when already
     optimal; can be below 1 only by tolerance). *)
@@ -33,6 +46,10 @@ val is_beta : kind -> beta:float -> Host.t -> Strategy.t -> bool
 val unhappy_agents : kind -> Host.t -> Strategy.t -> int list
 (** Agents with an improving deviation of the given kind. *)
 
+val unhappy_agents_parallel : ?domains:int -> kind -> Host.t -> Strategy.t -> int list
+(** Same list (ascending agent order), with the per-agent checks split
+    across domains; no early exit since every agent is reported. *)
+
 type grievance = {
   agent : int;
   current_cost : float;
@@ -45,5 +62,10 @@ val certify : kind -> Host.t -> Strategy.t -> (unit, grievance list) result
 (** [Ok ()] when the profile is an equilibrium of the kind; otherwise the
     per-agent evidence, sorted by decreasing improvement.  Powers the
     human-readable reports of the CLI. *)
+
+val certify_parallel :
+  ?domains:int -> kind -> Host.t -> Strategy.t -> (unit, grievance list) result
+(** [certify] with the per-agent oracles split across domains; produces
+    the identical verdict and ordering. *)
 
 val pp_grievance : Format.formatter -> grievance -> unit

@@ -12,6 +12,12 @@ let dist_sum_with_added_edge d_u d_v w =
   done;
   Flt.sum per
 
+(* Near-ties are classified with the engine tolerance, like everywhere
+   else: a candidate within [Flt.eps] of the incumbent cost is "no gain"
+   (this also absorbs inf - inf for disconnected states). *)
+let gain_between cur_cost cost' =
+  if Flt.approx_eq cost' cur_cost then 0.0 else cur_cost -. cost'
+
 let move_gains ?kinds host s ~agent =
   let g = Network.graph host s in
   let d_u = Dijkstra.sssp g agent in
@@ -37,7 +43,7 @@ let move_gains ?kinds host s ~agent =
       let cost' =
         cur_edge +. (alpha *. w) +. dist_sum_with_added_edge d_u (d_of v) w
       in
-      if cost' = cur_cost then 0.0 else cur_cost -. cost'
+      gain_between cur_cost cost'
     | Move.Delete v ->
       let w = Host.weight host agent v in
       if edge_survives_sale v then alpha *. w
@@ -46,7 +52,7 @@ let move_gains ?kinds host s ~agent =
         let dist' = Flt.sum (Dijkstra.sssp g agent) in
         Wgraph.add_edge g agent v w;
         let cost' = cur_edge -. (alpha *. w) +. dist' in
-        if cost' = cur_cost then 0.0 else cur_cost -. cost'
+        gain_between cur_cost cost'
       end
     | Move.Swap (old_t, new_t) ->
       let w_old = Host.weight host agent old_t in
@@ -63,19 +69,135 @@ let move_gains ?kinds host s ~agent =
       Wgraph.remove_edge g agent new_t;
       if removed then Wgraph.add_edge g agent old_t w_old;
       let cost' = cur_edge +. (alpha *. (w_new -. w_old)) +. dist' in
-      if cost' = cur_cost then 0.0 else cur_cost -. cost'
+      gain_between cur_cost cost'
   in
   List.map (fun mv -> (mv, gain_of mv)) (Move.candidates ?kinds host s ~agent)
 
-let best_move ?kinds host s ~agent =
+let pick_best gains =
   List.fold_left
     (fun acc (mv, gain) ->
       match acc with
       | Some (_, g) when g >= gain -> acc
       | _ when gain > Flt.eps -> Some (mv, gain)
       | _ -> acc)
+    None gains
+
+let best_move ?kinds host s ~agent = pick_best (move_gains ?kinds host s ~agent)
+
+(* State-based evaluation: no graph build, no SSSP for the mover or for
+   addition targets — their rows are live in the maintained matrix, so an
+   addition costs O(n) flat.  Deletions and swaps still need one what-if
+   Dijkstra each (removal invalidates the precomputed rows). *)
+let move_gains_state ?kinds st ~agent =
+  let host = Net_state.host st in
+  let s = Net_state.profile st in
+  let d_u = Net_state.dist_row st agent in
+  let cur_dist = Flt.sum d_u in
+  let cur_edge = Cost.agent_edge_cost host s agent in
+  let cur_cost = cur_edge +. cur_dist in
+  let alpha = Host.alpha host in
+  let edge_survives_sale v = Strategy.owns s v agent in
+  let gain_of = function
+    | Move.Add v ->
+      let w = Host.weight host agent v in
+      let cost' =
+        cur_edge +. (alpha *. w)
+        +. dist_sum_with_added_edge d_u (Net_state.dist_row st v) w
+      in
+      gain_between cur_cost cost'
+    | Move.Delete v ->
+      let w = Host.weight host agent v in
+      if edge_survives_sale v then alpha *. w
+      else begin
+        let dist' = Flt.sum (Net_state.sssp_edited st ~remove:(agent, v) agent) in
+        gain_between cur_cost (cur_edge -. (alpha *. w) +. dist')
+      end
+    | Move.Swap (old_t, new_t) ->
+      let w_old = Host.weight host agent old_t in
+      let w_new = Host.weight host agent new_t in
+      if edge_survives_sale old_t then
+        (* The sold edge stays (other side owns it too): the swap is a pure
+           insertion, evaluated by the O(n) formula. *)
+        gain_between cur_cost
+          (cur_edge
+          +. (alpha *. (w_new -. w_old))
+          +. dist_sum_with_added_edge d_u (Net_state.dist_row st new_t) w_new)
+      else begin
+        let dist' =
+          Flt.sum (Net_state.sssp_edited st ~remove:(agent, old_t) ~add:(agent, new_t, w_new) agent)
+        in
+        gain_between cur_cost (cur_edge +. (alpha *. (w_new -. w_old)) +. dist')
+      end
+  in
+  List.map (fun mv -> (mv, gain_of mv)) (Move.candidates ?kinds host s ~agent)
+
+let best_move_state ?kinds st ~agent =
+  let host = Net_state.host st in
+  let s = Net_state.profile st in
+  let d_u = Net_state.dist_row st agent in
+  let cur_dist = Flt.sum d_u in
+  let cur_edge = Cost.agent_edge_cost host s agent in
+  let cur_cost = cur_edge +. cur_dist in
+  let alpha = Host.alpha host in
+  let edge_survives_sale v = Strategy.owns s v agent in
+  (* Σ_x min(d_u(x), w + d_v(x)) per addition target, memoized: shared by
+     the Add candidates and by every swap bound below. *)
+  let added_dist_memo = Hashtbl.create 16 in
+  let added_dist v w =
+    match Hashtbl.find_opt added_dist_memo v with
+    | Some x -> x
+    | None ->
+      let x = dist_sum_with_added_edge d_u (Net_state.dist_row st v) w in
+      Hashtbl.add added_dist_memo v x;
+      x
+  in
+  let pick acc mv gain =
+    match acc with
+    | Some (_, g) when g >= gain -> acc
+    | _ when gain > Flt.eps -> Some (mv, gain)
+    | _ -> acc
+  in
+  List.fold_left
+    (fun acc mv ->
+      (* Branch-and-bound over the candidate list: a what-if Dijkstra is
+         spent only on moves whose admissible gain bound beats the
+         incumbent best (deleting an edge gains at most its price back;
+         a swap gains at most its pure-insertion relaxation, since the
+         removal can only lengthen distances).  Skipping a bounded-out
+         move is exact: its true gain can never replace the incumbent. *)
+      let best_gain = match acc with Some (_, g) -> g | None -> Flt.eps in
+      match mv with
+      | Move.Add v ->
+        let w = Host.weight host agent v in
+        let cost' = cur_edge +. (alpha *. w) +. added_dist v w in
+        pick acc mv (gain_between cur_cost cost')
+      | Move.Delete v ->
+        let w = Host.weight host agent v in
+        if edge_survives_sale v then pick acc mv (alpha *. w)
+        else if alpha *. w <= best_gain then acc
+        else begin
+          let dist' = Flt.sum (Net_state.sssp_edited st ~remove:(agent, v) agent) in
+          pick acc mv (gain_between cur_cost (cur_edge -. (alpha *. w) +. dist'))
+        end
+      | Move.Swap (old_t, new_t) ->
+        let w_old = Host.weight host agent old_t in
+        let w_new = Host.weight host agent new_t in
+        let insertion_cost =
+          cur_edge +. (alpha *. (w_new -. w_old)) +. added_dist new_t w_new
+        in
+        if edge_survives_sale old_t then
+          pick acc mv (gain_between cur_cost insertion_cost)
+        else if cur_cost -. insertion_cost <= best_gain then acc
+        else begin
+          let dist' =
+            Flt.sum
+              (Net_state.sssp_edited st ~remove:(agent, old_t) ~add:(agent, new_t, w_new)
+                 agent)
+          in
+          pick acc mv (gain_between cur_cost (cur_edge +. (alpha *. (w_new -. w_old)) +. dist'))
+        end)
     None
-    (move_gains ?kinds host s ~agent)
+    (Move.candidates ?kinds host s ~agent)
 
 let round_add_gains host s =
   let g = Network.graph host s in

@@ -26,6 +26,18 @@ val best_move :
   (Move.t * float) option
 (** Drop-in replacement for [Greedy.best_move]. *)
 
+val move_gains_state :
+  ?kinds:[ `Add | `Delete | `Swap ] list -> Net_state.t -> agent:int -> (Move.t * float) list
+(** [move_gains] against an incrementally maintained {!Net_state.t}: the
+    state's distance matrix makes every addition O(n) with no Dijkstra at
+    all; deletions and swaps cost one what-if SSSP each.  The state is
+    not modified. *)
+
+val best_move_state :
+  ?kinds:[ `Add | `Delete | `Swap ] list -> Net_state.t -> agent:int -> (Move.t * float) option
+(** Best improving move per {!move_gains_state} — the per-step engine of
+    the incremental dynamics evaluator. *)
+
 val round_add_gains : Host.t -> Strategy.t -> (int * int * float) list
 (** [(agent, target, gain)] for every improving addition of every agent,
     from a single all-pairs pass — the batch primitive for add-only

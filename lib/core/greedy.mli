@@ -1,11 +1,18 @@
 (** Greedy (single-edge) responses: the move set underlying Greedy
-    Equilibria and Add-only Equilibria. *)
+    Equilibria and Add-only Equilibria.
 
-val move_gain : Host.t -> Strategy.t -> agent:int -> Move.t -> float
+    Every function accepts an optional pre-built network [?graph] of the
+    current profile: scans that evaluate many candidates (equilibrium
+    checks, dynamics steps) build [Network.graph host s] once and thread
+    it through, halving the per-scan Dijkstra count. *)
+
+val move_gain :
+  ?graph:Gncg_graph.Wgraph.t -> Host.t -> Strategy.t -> agent:int -> Move.t -> float
 (** Cost decrease of a move ([> 0] means improving). *)
 
 val best_move :
   ?kinds:[ `Add | `Delete | `Swap ] list ->
+  ?graph:Gncg_graph.Wgraph.t ->
   Host.t ->
   Strategy.t ->
   agent:int ->
@@ -16,6 +23,7 @@ val best_move :
 
 val best_single_move_cost :
   ?kinds:[ `Add | `Delete | `Swap ] list ->
+  ?graph:Gncg_graph.Wgraph.t ->
   Host.t ->
   Strategy.t ->
   agent:int ->

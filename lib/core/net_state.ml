@@ -1,0 +1,84 @@
+module Wgraph = Gncg_graph.Wgraph
+module Incr_apsp = Gncg_graph.Incr_apsp
+module Flt = Gncg_util.Flt
+
+type t = { host : Host.t; mutable profile : Strategy.t; apsp : Incr_apsp.t }
+
+let create host profile =
+  if Strategy.n profile <> Host.n host then
+    invalid_arg "Net_state.create: profile/host size mismatch";
+  { host; profile; apsp = Incr_apsp.of_graph_no_copy (Network.graph host profile) }
+
+let host t = t.host
+
+let profile t = t.profile
+
+let graph t = Incr_apsp.graph t.apsp
+
+let dist t u v = Incr_apsp.distance t.apsp u v
+
+let dist_row t u = Incr_apsp.row t.apsp u
+
+let agent_dist_sum t u = Flt.sum (Incr_apsp.row t.apsp u)
+
+let agent_cost t u = Cost.agent_cost_with_dists t.host t.profile u (Incr_apsp.row t.apsp u)
+
+let social_cost t =
+  let n = Strategy.n t.profile in
+  let acc = ref 0.0 in
+  for u = 0 to n - 1 do
+    acc := !acc +. agent_cost t u
+  done;
+  !acc
+
+(* Network-level edge deltas.  An edge (a,b) is in the network iff either
+   side owns it; finite host weight is required, matching Network.graph. *)
+let net_add t a b =
+  let w = Host.weight t.host a b in
+  if Float.is_finite w && not (Wgraph.has_edge (graph t) a b) then
+    Incr_apsp.add_edge t.apsp a b w
+
+let net_remove t a b = Incr_apsp.remove_edge t.apsp a b
+
+let apply_move t ~agent mv =
+  let s = t.profile in
+  let s' = Move.apply s ~agent mv in
+  (match mv with
+  | Move.Add v -> if not (Strategy.edge_in_network s agent v) then net_add t agent v
+  | Move.Delete v ->
+    (* The built edge persists iff the other side also bought it. *)
+    if not (Strategy.owns s v agent) then net_remove t agent v
+  | Move.Swap (old_t, new_t) ->
+    if not (Strategy.owns s old_t agent) then net_remove t agent old_t;
+    if not (Strategy.edge_in_network s agent new_t) then net_add t agent new_t);
+  t.profile <- s';
+  s'
+
+let set_profile t s' =
+  if Strategy.n s' <> Strategy.n t.profile then
+    invalid_arg "Net_state.set_profile: size mismatch";
+  let in_new u v = Strategy.edge_in_network s' u v in
+  (* Removals first (against the edge list of the tracked graph), then
+     additions from the new profile's ownership lists. *)
+  let stale = ref [] in
+  Wgraph.iter_edges (graph t) (fun u v _ -> if not (in_new u v) then stale := (u, v) :: !stale);
+  List.iter (fun (u, v) -> net_remove t u v) !stale;
+  List.iter
+    (fun (u, v) -> if not (Wgraph.has_edge (graph t) u v) then net_add t u v)
+    (Strategy.owned_edges s');
+  t.profile <- s'
+
+let sssp_edited t ?remove ?add source = Incr_apsp.sssp_edited t.apsp ?remove ?add source
+
+let copy t = { host = t.host; profile = t.profile; apsp = Incr_apsp.copy t.apsp }
+
+let check_consistent t =
+  let reference = Gncg_graph.Dijkstra.apsp (Network.graph t.host t.profile) in
+  let n = Strategy.n t.profile in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if not (Flt.approx_eq (dist t u v) reference.(u).(v)) then ok := false
+    done
+  done;
+  !ok

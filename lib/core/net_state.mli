@@ -1,0 +1,64 @@
+(** Mutable game state with incrementally maintained distances.
+
+    Response dynamics mutate the network one edge at a time; rebuilding
+    [Network.graph] and re-running Dijkstra after every step is the
+    engine's historic bottleneck.  A [Net_state.t] pairs the current
+    strategy profile with an {!Gncg_graph.Incr_apsp.t} tracking its
+    network, so that
+
+    - applying a move costs O(n²) (insertion) or one Dijkstra pass per
+      affected source (deletion) instead of a full rebuild + APSP, and
+    - every agent's cost is an O(n) fold over a live distance row.
+
+    The structure is single-owner and not thread-safe; the read-only
+    accessors may be shared across domains between updates. *)
+
+type t
+
+val create : Host.t -> Strategy.t -> t
+(** Builds the network of the profile and its full distance matrix:
+    O(n · (m + n log n)) once, amortized over the whole run. *)
+
+val host : t -> Host.t
+
+val profile : t -> Strategy.t
+(** The current profile; updated by {!apply_move} / {!set_profile}. *)
+
+val graph : t -> Gncg_graph.Wgraph.t
+(** The tracked network — read-only for callers. *)
+
+val dist : t -> int -> int -> float
+
+val dist_row : t -> int -> float array
+(** Live row of the maintained matrix: read-only, invalidated by the next
+    update. *)
+
+val agent_dist_sum : t -> int -> float
+
+val agent_cost : t -> int -> float
+(** O(n): edge price plus the sum of the agent's live distance row. *)
+
+val social_cost : t -> float
+
+val apply_move : t -> agent:int -> Move.t -> Strategy.t
+(** Applies the move to the profile ({!Move.apply} semantics, including
+    its validation) and updates the network and distances incrementally.
+    An edge bought from both sides stays in the network when only one
+    side sells it.  Returns the new profile. *)
+
+val set_profile : t -> Strategy.t -> unit
+(** Re-points the state at an arbitrary profile of the same size by
+    diffing the two networks edge by edge — incremental when the profiles
+    are close, never worse than a rebuild by more than the diff size.
+    Used when a dynamics rule jumps to a multi-edge deviation. *)
+
+val sssp_edited :
+  t -> ?remove:int * int -> ?add:int * int * float -> int -> float array
+(** What-if single-source distances on a hypothetical one-edge edit; see
+    {!Gncg_graph.Incr_apsp.sssp_edited}. *)
+
+val copy : t -> t
+
+val check_consistent : t -> bool
+(** Compares the maintained matrix against a from-scratch APSP of a
+    freshly built network (within [Flt.eps]) — test oracle. *)

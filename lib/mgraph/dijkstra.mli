@@ -30,5 +30,12 @@ val path : Wgraph.t -> int -> int -> int list option
 
 val eccentricity : Wgraph.t -> int -> float
 
-val diameter : Wgraph.t -> float
-(** Infinite when the graph is disconnected, 0 for n <= 1. *)
+val eccentricities : ?domains:int -> Wgraph.t -> float array
+(** Eccentricity of every vertex from one all-pairs sweep; the sources are
+    split across domains on graphs large enough to amortize the spawn
+    cost. *)
+
+val diameter : ?domains:int -> Wgraph.t -> float
+(** Infinite when the graph is disconnected, 0 for n <= 1.  Runs the
+    eccentricity sweep of {!eccentricities} (multicore on large graphs)
+    instead of n sequential SSSP calls. *)

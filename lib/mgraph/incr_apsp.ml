@@ -1,0 +1,112 @@
+type t = {
+  g : Wgraph.t;
+  d : float array array;
+  mutable last_recomputed : int;
+}
+
+let of_graph_no_copy g = { g; d = Dijkstra.apsp g; last_recomputed = 0 }
+
+let of_graph g = of_graph_no_copy (Wgraph.copy g)
+
+let graph t = t.g
+
+let n t = Wgraph.n t.g
+
+let check t u name =
+  if u < 0 || u >= n t then
+    invalid_arg (Printf.sprintf "Incr_apsp.%s: vertex %d out of range" name u)
+
+let distance t u v =
+  check t u "distance";
+  check t v "distance";
+  t.d.(u).(v)
+
+let row t u =
+  check t u "row";
+  t.d.(u)
+
+let matrix t = t.d
+
+let add_edge t u v w =
+  check t u "add_edge";
+  check t v "add_edge";
+  if Wgraph.has_edge t.g u v then invalid_arg "Incr_apsp.add_edge: edge already present";
+  Wgraph.add_edge t.g u v w;
+  if w < t.d.(u).(v) then begin
+    (* Rows u and v are read while every row (incl. themselves) is being
+       written: snapshot them first. *)
+    let du = Array.copy t.d.(u) and dv = Array.copy t.d.(v) in
+    let size = n t in
+    for x = 0 to size - 1 do
+      let row = t.d.(x) in
+      let dxu = du.(x) and dxv = dv.(x) in
+      for y = 0 to size - 1 do
+        let via_uv = dxu +. w +. dv.(y) in
+        let via_vu = dxv +. w +. du.(y) in
+        let best = Float.min row.(y) (Float.min via_uv via_vu) in
+        row.(y) <- best
+      done
+    done
+  end
+
+let remove_edge t u v =
+  check t u "remove_edge";
+  check t v "remove_edge";
+  match Wgraph.weight t.g u v with
+  | None -> t.last_recomputed <- 0
+  | Some w ->
+    Wgraph.remove_edge t.g u v;
+    (* A shortest path from s can use (u,v) only if the edge is tight on
+       s's row: d(s,u) + w = d(s,v) (or symmetrically).  Tightness is
+       tested with the engine tolerance, not exact equality — rows
+       produced by earlier incremental insertions associate their sums
+       differently than Dijkstra would, so a genuinely used edge can be
+       off by ulps.  The tolerance only over-approximates the affected
+       set (extra recomputes), never misses a used edge. *)
+    let size = n t in
+    let recomputed = ref 0 in
+    for s = 0 to size - 1 do
+      let dsu = t.d.(s).(u) and dsv = t.d.(s).(v) in
+      if
+        Gncg_util.Flt.approx_eq (dsu +. w) dsv
+        || Gncg_util.Flt.approx_eq (dsv +. w) dsu
+      then begin
+        t.d.(s) <- Dijkstra.sssp t.g s;
+        incr recomputed
+      end
+    done;
+    t.last_recomputed <- !recomputed
+
+let last_deletion_recomputed t = t.last_recomputed
+
+let sssp_edited t ?remove ?add source =
+  check t source "sssp_edited";
+  let removed =
+    match remove with
+    | None -> None
+    | Some (u, v) -> (
+      match Wgraph.weight t.g u v with
+      | None -> None
+      | Some w ->
+        Wgraph.remove_edge t.g u v;
+        Some (u, v, w))
+  in
+  let added =
+    match add with
+    | None -> None
+    | Some (u, v, w) when not (Wgraph.has_edge t.g u v) ->
+      Wgraph.add_edge t.g u v w;
+      Some (u, v)
+    | Some _ -> None
+  in
+  let dist = Dijkstra.sssp t.g source in
+  (match added with None -> () | Some (u, v) -> Wgraph.remove_edge t.g u v);
+  (match removed with None -> () | Some (u, v, w) -> Wgraph.add_edge t.g u v w);
+  dist
+
+let copy t =
+  { g = Wgraph.copy t.g; d = Array.map Array.copy t.d; last_recomputed = t.last_recomputed }
+
+let rebuild t =
+  let fresh = Dijkstra.apsp t.g in
+  Array.blit fresh 0 t.d 0 (Array.length fresh)

@@ -1,0 +1,70 @@
+(** Incrementally maintained all-pairs shortest paths.
+
+    The response-dynamics hot loop mutates the network one edge at a time
+    (add / delete / swap) and needs fresh distances after every step.
+    Rebuilding the graph and re-running [Dijkstra.apsp] costs
+    O(n·(m + n log n)) per step; this module keeps a full distance matrix
+    in sync with a mutable {!Wgraph.t} instead:
+
+    - {e insertion} of edge [(u,v,w)] is the exact O(n²) relaxation
+      [d'(x,y) = min(d(x,y), d(x,u)+w+d(v,y), d(x,v)+w+d(u,y))]
+      (one round suffices: with non-negative weights a shortest path
+      never crosses a fixed edge twice);
+    - {e deletion} recomputes only the {e affected sources}: a source [s]
+      whose shortest paths may use [(u,v)] must have the edge tight, i.e.
+      [d(s,u) + w = d(s,v)] or [d(s,v) + w = d(s,u)].  Rows of unaffected
+      sources are provably unchanged; each affected row costs one
+      Dijkstra pass.
+
+    The wrapped graph is owned by this structure: mutate it only through
+    {!add_edge} / {!remove_edge}, never directly.  Not thread-safe; the
+    read-only accessors may be shared across domains between updates. *)
+
+type t
+
+val of_graph : Wgraph.t -> t
+(** Adopts a private copy of the graph and computes its distances. *)
+
+val of_graph_no_copy : Wgraph.t -> t
+(** Wraps the graph itself (no copy): the caller transfers ownership and
+    must not mutate it behind the structure's back. *)
+
+val graph : t -> Wgraph.t
+(** The tracked graph.  Read-only from the caller's perspective. *)
+
+val n : t -> int
+
+val distance : t -> int -> int -> float
+
+val row : t -> int -> float array
+(** The live distance row of a source — {b not} a copy; treat it as
+    read-only and invalidated by the next update. *)
+
+val matrix : t -> float array array
+(** The live matrix (same aliasing caveat as {!row}). *)
+
+val add_edge : t -> int -> int -> float -> unit
+(** Inserts the edge into the graph and updates all rows in O(n²).
+    Raises like {!Wgraph.add_edge} on invalid arguments; the edge must
+    not already be present. *)
+
+val remove_edge : t -> int -> int -> unit
+(** Removes the edge (no-op when absent) and recomputes the rows of
+    affected sources only. *)
+
+val last_deletion_recomputed : t -> int
+(** Number of source rows the most recent {!remove_edge} recomputed —
+    instrumentation for benches and tests. *)
+
+val sssp_edited : t -> ?remove:int * int -> ?add:int * int * float -> int -> float array
+(** Single-source distances on a hypothetical edit of the tracked graph
+    (one edge removed and/or one added), without touching the maintained
+    matrix: the graph is edited in place, measured, and restored.  Absent
+    removals and already-present additions are ignored.  The what-if
+    primitive of single-move evaluation; not thread-safe. *)
+
+val copy : t -> t
+
+val rebuild : t -> unit
+(** Recomputes the whole matrix from the graph (an oracle/repair hook;
+    normal use never needs it). *)

@@ -1,4 +1,15 @@
-let default_domains () = min 8 (Domain.recommended_domain_count ())
+(* 0 = no override: fall back to the hardware-recommended count. *)
+let override = Atomic.make 0
+
+let set_default_domains = function
+  | None -> Atomic.set override 0
+  | Some d ->
+    if d < 1 then invalid_arg "Parallel.set_default_domains";
+    Atomic.set override d
+
+let default_domains () =
+  let o = Atomic.get override in
+  if o > 0 then o else min 8 (Domain.recommended_domain_count ())
 
 let init ?domains n f =
   if n < 0 then invalid_arg "Parallel.init";
@@ -27,3 +38,36 @@ let init ?domains n f =
   end
 
 let map_array ?domains f a = init ?domains (Array.length a) (fun i -> f a.(i))
+
+let for_all ?domains n pred =
+  if n < 0 then invalid_arg "Parallel.for_all";
+  if n = 0 then true
+  else begin
+    let domains = match domains with Some d -> max 1 d | None -> default_domains () in
+    let domains = min domains n in
+    if domains = 1 then begin
+      let rec go i = i >= n || (pred i && go (i + 1)) in
+      go 0
+    end
+    else begin
+      (* Early exit: a counterexample found by any domain stops the
+         others at their next index. *)
+      let failed = Atomic.make false in
+      let chunk = (n + domains - 1) / domains in
+      let worker k () =
+        let lo = k * chunk in
+        let hi = min n ((k + 1) * chunk) - 1 in
+        let i = ref lo in
+        while (not (Atomic.get failed)) && !i <= hi do
+          if not (pred !i) then Atomic.set failed true;
+          incr i
+        done
+      in
+      let handles = List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+      worker 0 ();
+      List.iter Domain.join handles;
+      not (Atomic.get failed)
+    end
+  end
+
+let exists ?domains n pred = not (for_all ?domains n (fun i -> not (pred i)))

@@ -8,7 +8,14 @@
     needed.  Callers must ensure [f] only *reads* shared structures. *)
 
 val default_domains : unit -> int
-(** [Domain.recommended_domain_count ()], capped at 8. *)
+(** The process-wide override when set (see {!set_default_domains}),
+    otherwise [Domain.recommended_domain_count ()] capped at 8. *)
+
+val set_default_domains : int option -> unit
+(** Overrides the process-wide default domain count used whenever a
+    [?domains] argument is omitted ([None] resets to the hardware
+    default).  Backs the [--domains] flag of the CLI and bench
+    runners. *)
 
 val init : ?domains:int -> int -> (int -> 'a) -> 'a array
 (** [init n f] is [Array.init n f] with the index space split across
@@ -17,3 +24,14 @@ val init : ?domains:int -> int -> (int -> 'a) -> 'a array
 
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]; same safety contract. *)
+
+val for_all : ?domains:int -> int -> (int -> bool) -> bool
+(** [for_all n pred] is [pred 0 && ... && pred (n-1)] with the index space
+    split across domains and an early exit: once any domain finds a
+    counterexample the others stop before their next index.  Unlike the
+    sequential [&&] chain the set of evaluated indices is scheduler
+    dependent — [pred] must be pure.  Powers the parallel equilibrium
+    scans. *)
+
+val exists : ?domains:int -> int -> (int -> bool) -> bool
+(** Dual of {!for_all}. *)

@@ -13,13 +13,13 @@ type run = {
   is_tree : bool;
 }
 
-let dynamics_run ?(rule = Gncg.Dynamics.Greedy_response) ?(max_steps = 5000) model ~n ~alpha
-    ~seed =
+let dynamics_run ?(rule = Gncg.Dynamics.Greedy_response) ?(max_steps = 5000)
+    ?(evaluator = `Incremental) model ~n ~alpha ~seed =
   let rng = Gncg_util.Prng.create seed in
   let host = Instances.random_host rng model ~n ~alpha in
   let start = Instances.random_profile rng host in
   let scheduler = Gncg.Dynamics.Random_order (Gncg_util.Prng.split rng) in
-  let outcome = Gncg.Dynamics.run ~max_steps ~rule ~scheduler host start in
+  let outcome = Gncg.Dynamics.run ~max_steps ~evaluator ~rule ~scheduler host start in
   let profile, converged, steps =
     match outcome with
     | Gncg.Dynamics.Converged { profile; steps; _ } -> (profile, true, List.length steps)
@@ -46,12 +46,14 @@ let dynamics_run ?(rule = Gncg.Dynamics.Greedy_response) ?(max_steps = 5000) mod
     is_tree = Gncg_graph.Connectivity.is_tree g;
   }
 
-let dynamics_batch ?rule ?max_steps model ~ns ~alphas ~seeds =
+let dynamics_batch ?rule ?max_steps ?evaluator model ~ns ~alphas ~seeds =
   List.concat_map
     (fun n ->
       List.concat_map
         (fun alpha ->
-          List.map (fun seed -> dynamics_run ?rule ?max_steps model ~n ~alpha ~seed) seeds)
+          List.map
+            (fun seed -> dynamics_run ?rule ?max_steps ?evaluator model ~n ~alpha ~seed)
+            seeds)
         alphas)
     ns
 

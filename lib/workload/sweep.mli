@@ -20,17 +20,22 @@ type run = {
 val dynamics_run :
   ?rule:Gncg.Dynamics.rule ->
   ?max_steps:int ->
+  ?evaluator:[ `Reference | `Fast | `Incremental ] ->
   Instances.model ->
   n:int ->
   alpha:float ->
   seed:int ->
   run
 (** One seeded dynamics run from a random profile; the optimum is
-    [Social_optimum.best_known] (exact on small hosts). *)
+    [Social_optimum.best_known] (exact on small hosts).  The dynamics run
+    through the incrementally maintained distance engine by default
+    ([`Incremental]); pass [`Reference] to force the from-scratch
+    evaluator. *)
 
 val dynamics_batch :
   ?rule:Gncg.Dynamics.rule ->
   ?max_steps:int ->
+  ?evaluator:[ `Reference | `Fast | `Incremental ] ->
   Instances.model ->
   ns:int list ->
   alphas:float list ->
