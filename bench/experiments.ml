@@ -926,6 +926,41 @@ let e22_exhaustive_kernel () =
     print_endline
       "(Thm 1, Thm 9, Lemma 1 and Lemma 2 hold on the entire 4-agent 1-2 kernel.)"
 
+(* ----------------------------------------------------------------- E23 *)
+
+let e23_journaled_sweep () =
+  section "E23" "Journal-backed PoA sweep (the runs subsystem end to end)";
+  print_endline
+    "Greedy dynamics PoA series regenerated through a durable journal: the\n\
+     batch runs on the work-stealing scheduler, every result is appended to\n\
+     a JSONL journal, and a resume pass verifies nothing re-executes.";
+  let journal = Filename.temp_file "gncg_e23" ".jsonl" in
+  let config =
+    Gncg_runs.Batch.config
+      (W.Instances.Euclid { norm = L2; d = 2; box = 100.0 })
+      ~ns:[ 8 ] ~alphas:[ 0.5; 1.0; 2.0; 4.0 ]
+      ~seeds:[ 1; 2; 3; 4 ]
+  in
+  let summary = Gncg_runs.Batch.run ~journal config in
+  let by_alpha =
+    List.map
+      (fun alpha ->
+        ( T.fl ~digits:1 alpha,
+          List.filter
+            (fun (r : W.Sweep.run) -> Gncg_util.Flt.approx_eq ~tol:1e-9 r.alpha alpha)
+            summary.runs ))
+      [ 0.5; 1.0; 2.0; 4.0 ]
+  in
+  W.Report.print_ratio_summary ~group_label:"alpha" by_alpha;
+  (match Gncg_runs.Batch.resume ~journal () with
+  | Ok resumed ->
+    Printf.printf
+      "journal: %d jobs journaled; resume re-executed %d (expected 0); runs identical: %b\n"
+      summary.progress.total resumed.progress.executed
+      (W.Report.runs_to_csv resumed.runs = W.Report.runs_to_csv summary.runs)
+  | Error msg -> Printf.printf "journal: resume FAILED: %s\n" msg);
+  Sys.remove journal
+
 let all =
   [
     ("E1", e1_poa_onetwo_small_alpha);
@@ -950,4 +985,5 @@ let all =
     ("E20", e20_convergence_speed);
     ("E21", e21_scaling);
     ("E22", e22_exhaustive_kernel);
+    ("E23", e23_journaled_sweep);
   ]

@@ -52,4 +52,25 @@ let () =
   Printf.printf "is_ge n=%d: sequential %.3f s, parallel %.3f s (%.1fx, %d domains)\n%!" n
     t_seq t_par (t_seq /. t_par)
     (Gncg_util.Parallel.default_domains ());
+  (* Journal smoke: run a tiny journaled batch, resume it, and require
+     that the resume re-executes nothing and reproduces the same runs. *)
+  let journal = Filename.temp_file "gncg_smoke" ".jsonl" in
+  let config =
+    Gncg_runs.Batch.config
+      (Gncg_workload.Instances.Tree { wmin = 1.0; wmax = 5.0 })
+      ~ns:[ 5 ] ~alphas:[ 1.0; 4.0 ] ~seeds:[ 1; 2 ]
+  in
+  let first = Gncg_runs.Batch.run ~journal config in
+  (match Gncg_runs.Batch.resume ~journal () with
+  | Error msg -> fail "journal resume failed: %s" msg
+  | Ok resumed ->
+    if resumed.progress.executed <> 0 then
+      fail "resume of a complete journal re-executed %d jobs" resumed.progress.executed;
+    if
+      Gncg_workload.Report.runs_to_csv resumed.runs
+      <> Gncg_workload.Report.runs_to_csv first.runs
+    then fail "resumed runs differ from the original batch");
+  Sys.remove journal;
+  Printf.printf "journal run/resume: %d jobs, resume re-executed 0\n%!"
+    first.progress.total;
   print_endline "bench-smoke ok"

@@ -2,10 +2,16 @@
    engine.
 
    Subcommands:
-     gncg sweep      — dynamics sweeps over random instances
-     gncg construct  — evaluate a paper construction
-     gncg cycles     — print the stored FIP-violation certificates
-     gncg br         — best-response engines on one random instance *)
+     gncg sweep          — one-shot dynamics sweep over random instances
+     gncg sweep run      — journal-backed batch sweep (durable, parallel)
+     gncg sweep resume   — finish an interrupted journal-backed sweep
+     gncg sweep status   — inspect a journal without running anything
+     gncg construct      — evaluate a paper construction
+     gncg cycles         — print the stored FIP-violation certificates
+     gncg br             — best-response engines on one random instance
+
+   Error-path convention: diagnostics go to stderr, then [exit 1];
+   stdout carries only the requested table/CSV/JSON payload. *)
 
 open Cmdliner
 
@@ -54,27 +60,181 @@ let set_domains domains = Gncg_util.Parallel.set_default_domains domains
 
 (* --- sweep ----------------------------------------------------------- *)
 
+(* Validate the output format up front: diagnostics must precede the work,
+   not follow a sweep that is about to be thrown away. *)
+let renderer_of_format = function
+  | "table" -> Some Gncg_workload.Report.print_runs
+  | "csv" -> Some (fun runs -> print_string (Gncg_workload.Report.runs_to_csv runs))
+  | "json" -> Some (fun runs -> print_endline (Gncg_workload.Report.runs_to_json runs))
+  | _ -> None
+
+let require_renderer format =
+  match renderer_of_format format with
+  | Some render -> render
+  | None ->
+    Printf.eprintf "unknown format %S (table | csv | json)\n" format;
+    exit 1
+
 let sweep model n alpha seeds format domains =
+  let render = require_renderer format in
   set_domains domains;
   let runs =
     List.init seeds (fun seed ->
         Gncg_workload.Sweep.dynamics_run model ~n ~alpha ~seed:(seed + 1))
   in
-  match format with
-  | "table" -> Gncg_workload.Report.print_runs runs
-  | "csv" -> print_string (Gncg_workload.Report.runs_to_csv runs)
-  | "json" -> print_endline (Gncg_workload.Report.runs_to_json runs)
-  | f ->
-    Printf.eprintf "unknown format %S (table | csv | json)\n" f;
-    exit 1
+  render runs
 
 let format_arg =
   Arg.(value & opt string "table" & info [ "format" ] ~doc:"table | csv | json")
 
-let sweep_cmd =
+let sweep_one_shot_term =
+  Term.(const sweep $ model_arg $ n_arg $ alpha_arg $ seeds_arg $ format_arg $ domains_arg)
+
+(* Journal-backed batch sweeps (the runs subsystem). *)
+
+let ns_arg =
+  Arg.(value & opt (list int) [ 8 ] & info [ "ns" ] ~doc:"comma-separated agent counts")
+
+let alphas_arg =
+  Arg.(value
+       & opt (list float) [ 2.0 ]
+       & info [ "alphas" ] ~doc:"comma-separated edge price factors")
+
+let rule_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Gncg_runs.Job.rule_of_string s) in
+  Arg.conv ~docv:"RULE" (parse, fun fmt r -> Format.pp_print_string fmt (Gncg_runs.Job.rule_to_string r))
+
+let rule_arg =
+  Arg.(value
+       & opt rule_conv Gncg_runs.Job.Greedy_response
+       & info [ "rule" ] ~doc:"best | greedy | add-only")
+
+let max_steps_arg =
+  Arg.(value & opt positive_int 5000 & info [ "max-steps" ] ~doc:"dynamics step budget")
+
+let evaluator_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Gncg_runs.Job.evaluator_of_string s) in
+  Arg.conv ~docv:"EVAL"
+    (parse, fun fmt e -> Format.pp_print_string fmt (Gncg_runs.Job.evaluator_to_string e))
+
+let evaluator_arg =
+  Arg.(value
+       & opt evaluator_conv `Incremental
+       & info [ "evaluator" ] ~doc:"reference | fast | incremental")
+
+let journal_arg required_for =
+  let doc = Printf.sprintf "JSONL journal path (%s)" required_for in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH" ~doc)
+
+let require_journal = function
+  | Some path -> path
+  | None ->
+    prerr_endline "a --journal path is required for this subcommand";
+    exit 1
+
+let positive_float =
+  let parse s =
+    match float_of_string_opt s with
+    | Some x when x > 0.0 -> Ok x
+    | _ -> Error (`Msg "expected a positive number of seconds")
+  in
+  Arg.conv (parse, fun fmt x -> Format.fprintf fmt "%g" x)
+
+let budget_arg =
+  Arg.(value
+       & opt (some positive_float) None
+       & info [ "budget" ] ~docv:"SECONDS"
+           ~doc:"per-job wall-clock budget; over-budget jobs are recorded as timeouts")
+
+let retries_arg =
+  let nonneg =
+    let parse s =
+      match int_of_string_opt s with
+      | Some k when k >= 0 -> Ok k
+      | _ -> Error (`Msg "expected a non-negative integer")
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(value & opt nonneg 0 & info [ "retries" ] ~doc:"extra attempts for crashed jobs")
+
+let report_summary ~label (s : Gncg_runs.Batch.summary) =
+  Format.eprintf "%s: %a@." label Gncg_runs.Batch.pp_progress s.progress
+
+let sweep_run model ns alphas seeds rule evaluator max_steps format journal budget
+    retries domains =
+  let render = require_renderer format in
+  set_domains domains;
+  let config =
+    Gncg_runs.Batch.config ~rule ~evaluator ~max_steps model ~ns ~alphas
+      ~seeds:(List.init seeds (fun s -> s + 1))
+  in
+  let summary = Gncg_runs.Batch.run ?budget ~retries ?journal config in
+  report_summary
+    ~label:(match journal with Some p -> "journal " ^ p | None -> "sweep")
+    summary;
+  render summary.runs
+
+let sweep_resume journal format budget retries domains =
+  let render = require_renderer format in
+  let path = require_journal journal in
+  set_domains domains;
+  match Gncg_runs.Batch.resume ?budget ~retries ~journal:path () with
+  | Ok summary ->
+    report_summary ~label:("journal " ^ path) summary;
+    render summary.runs
+  | Error msg ->
+    Printf.eprintf "resume failed: %s\n" msg;
+    exit 1
+
+let sweep_status journal =
+  let path = require_journal journal in
+  match Gncg_runs.Batch.status ~journal:path with
+  | Ok (manifest, progress) ->
+    Printf.printf "journal            %s\n" path;
+    Printf.printf "model              %s\n" manifest.Gncg_runs.Journal.model;
+    Printf.printf "rule / evaluator   %s / %s\n"
+      (Gncg_runs.Job.rule_to_string manifest.Gncg_runs.Journal.rule)
+      (Gncg_runs.Job.evaluator_to_string manifest.Gncg_runs.Journal.evaluator);
+    Printf.printf "grid               ns=%s alphas=%s seeds=%s\n"
+      (String.concat "," (List.map string_of_int manifest.Gncg_runs.Journal.ns))
+      (String.concat "," (List.map (Printf.sprintf "%g") manifest.Gncg_runs.Journal.alphas))
+      (String.concat "," (List.map string_of_int manifest.Gncg_runs.Journal.seeds));
+    Printf.printf "jobs               %d\n" progress.Gncg_runs.Batch.total;
+    Printf.printf "terminal           %d (completed %d, diverged %d)\n"
+      progress.Gncg_runs.Batch.skipped progress.Gncg_runs.Batch.completed
+      progress.Gncg_runs.Batch.diverged;
+    Printf.printf "pending            %d (of which timeout %d, crashed %d)\n"
+      (progress.Gncg_runs.Batch.total - progress.Gncg_runs.Batch.skipped)
+      progress.Gncg_runs.Batch.timeout progress.Gncg_runs.Batch.crashed
+  | Error msg ->
+    Printf.eprintf "status failed: %s\n" msg;
+    exit 1
+
+let sweep_run_cmd =
   Cmd.v
+    (Cmd.info "run" ~doc:"run a batch sweep through the work-stealing scheduler, \
+                          optionally journaled for resume")
+    Term.(const sweep_run $ model_arg $ ns_arg $ alphas_arg $ seeds_arg $ rule_arg
+          $ evaluator_arg $ max_steps_arg $ format_arg
+          $ journal_arg "optional: enables kill-and-resume"
+          $ budget_arg $ retries_arg $ domains_arg)
+
+let sweep_resume_cmd =
+  Cmd.v
+    (Cmd.info "resume" ~doc:"finish an interrupted journal-backed sweep; \
+                             already-journaled jobs are not re-executed")
+    Term.(const sweep_resume
+          $ journal_arg "required" $ format_arg $ budget_arg $ retries_arg $ domains_arg)
+
+let sweep_status_cmd =
+  Cmd.v
+    (Cmd.info "status" ~doc:"show a journal's manifest and completion counts")
+    Term.(const sweep_status $ journal_arg "required")
+
+let sweep_cmd =
+  Cmd.group ~default:sweep_one_shot_term
     (Cmd.info "sweep" ~doc:"run response dynamics over random instances")
-    Term.(const sweep $ model_arg $ n_arg $ alpha_arg $ seeds_arg $ format_arg $ domains_arg)
+    [ sweep_run_cmd; sweep_resume_cmd; sweep_status_cmd ]
 
 (* --- construct -------------------------------------------------------- *)
 
@@ -134,7 +294,8 @@ let which_arg =
        & pos 0 (some string) None
        & info [] ~docv:"WHICH" ~doc:"thm8 | thm15 | thm18 | thm19 | lemma8 | thm20")
 
-let construct_with_save which alpha n save =
+let construct_with_save which alpha n save domains =
+  set_domains domains;
   construct which alpha n;
   match save with
   | None -> ()
@@ -172,7 +333,7 @@ let save_arg =
 let construct_cmd =
   Cmd.v
     (Cmd.info "construct" ~doc:"evaluate a lower-bound construction of the paper")
-    Term.(const construct_with_save $ which_arg $ alpha_arg $ n_arg $ save_arg)
+    Term.(const construct_with_save $ which_arg $ alpha_arg $ n_arg $ save_arg $ domains_arg)
 
 (* --- check ---------------------------------------------------------------- *)
 
@@ -214,7 +375,8 @@ let check_cmd =
 
 (* --- cycles ------------------------------------------------------------ *)
 
-let cycles () =
+let cycles domains =
+  set_domains domains;
   let show name (host, cycle) =
     Printf.printf "%s: %d improving moves, certificate valid: %b\n" name
       (List.length cycle - 1)
@@ -228,11 +390,12 @@ let cycles () =
 let cycles_cmd =
   Cmd.v
     (Cmd.info "cycles" ~doc:"print the stored improving-move cycles")
-    Term.(const cycles $ const ())
+    Term.(const cycles $ domains_arg)
 
 (* --- br ----------------------------------------------------------------- *)
 
-let br model n alpha seed =
+let br model n alpha seed domains =
+  set_domains domains;
   let rng = Gncg_util.Prng.create seed in
   let host = Gncg_workload.Instances.random_host rng model ~n ~alpha in
   let s = Gncg_workload.Instances.random_profile rng host in
@@ -249,7 +412,7 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"instance seed")
 let br_cmd =
   Cmd.v
     (Cmd.info "br" ~doc:"compare best-response engines on one random instance")
-    Term.(const br $ model_arg $ n_arg $ alpha_arg $ seed_arg)
+    Term.(const br $ model_arg $ n_arg $ alpha_arg $ seed_arg $ domains_arg)
 
 (* --- stats --------------------------------------------------------------- *)
 

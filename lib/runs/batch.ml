@@ -1,0 +1,185 @@
+module Sweep = Gncg_workload.Sweep
+
+type config = {
+  model : Gncg_workload.Instances.model;
+  ns : int list;
+  alphas : float list;
+  seeds : int list;
+  rule : Job.rule;
+  evaluator : Job.evaluator;
+  max_steps : int;
+}
+
+let config ?(rule = Job.Greedy_response) ?(evaluator = `Incremental) ?(max_steps = 5000)
+    model ~ns ~alphas ~seeds =
+  { model; ns; alphas; seeds; rule; evaluator; max_steps }
+
+let jobs c =
+  List.map
+    (fun (n, alpha, seed) ->
+      Job.make ~rule:c.rule ~evaluator:c.evaluator ~max_steps:c.max_steps c.model ~n
+        ~alpha ~seed)
+    (Sweep.cartesian ~ns:c.ns ~alphas:c.alphas ~seeds:c.seeds)
+
+let manifest c =
+  {
+    Journal.schema = 1;
+    model = Job.model_to_string c.model;
+    ns = c.ns;
+    alphas = c.alphas;
+    seeds = c.seeds;
+    rule = c.rule;
+    evaluator = c.evaluator;
+    max_steps = c.max_steps;
+    jobs = List.length c.ns * List.length c.alphas * List.length c.seeds;
+  }
+
+type progress = {
+  total : int;
+  executed : int;
+  skipped : int;
+  completed : int;
+  diverged : int;
+  timeout : int;
+  crashed : int;
+}
+
+let pp_progress fmt p =
+  Format.fprintf fmt
+    "%d jobs: re-executed %d jobs, skipped %d already journaled (completed %d, \
+     diverged %d, timeout %d, crashed %d)"
+    p.total p.executed p.skipped p.completed p.diverged p.timeout p.crashed
+
+type summary = { runs : Sweep.run list; progress : progress }
+
+let entry_of_report job (report : Sweep.run Scheduler.report) =
+  let status, result =
+    match report.outcome with
+    | Scheduler.Completed r -> (Journal.Completed, Some r)
+    | Scheduler.Diverged r -> (Journal.Diverged, Some r)
+    | Scheduler.Timeout -> (Journal.Timeout, None)
+    | Scheduler.Crashed msg -> (Journal.Crashed msg, None)
+  in
+  {
+    Journal.job = Job.hash job;
+    status;
+    attempts = report.attempts;
+    elapsed = report.elapsed;
+    result;
+  }
+
+(* Runs [pending] through the scheduler (journaling as results land) and
+   merges with the already-terminal entries, in job order. *)
+let run_pending ?domains ?budget ?retries journal_handle all_jobs terminal pending =
+  let on_result job report =
+    match journal_handle with
+    | None -> ()
+    | Some j -> Journal.append j (entry_of_report job report)
+  in
+  let reports =
+    Scheduler.run ?domains ?budget ?retries
+      ~diverged:(fun (r : Sweep.run) -> not r.Sweep.converged)
+      ~on_result Job.execute pending
+  in
+  let fresh = Hashtbl.create (List.length reports) in
+  List.iter
+    (fun (job, report) -> Hashtbl.replace fresh (Job.hash job) report)
+    reports;
+  let completed = ref 0
+  and diverged = ref 0
+  and timeout = ref 0
+  and crashed = ref 0 in
+  let runs =
+    List.filter_map
+      (fun job ->
+        let h = Job.hash job in
+        match Hashtbl.find_opt fresh h with
+        | Some { Scheduler.outcome = Completed r; _ } -> incr completed; Some r
+        | Some { Scheduler.outcome = Diverged r; _ } -> incr diverged; Some r
+        | Some { Scheduler.outcome = Timeout; _ } -> incr timeout; None
+        | Some { Scheduler.outcome = Crashed _; _ } -> incr crashed; None
+        | None -> (
+          match Hashtbl.find_opt terminal h with
+          | Some { Journal.status = Completed; result; _ } -> incr completed; result
+          | Some { Journal.status = Diverged; result; _ } -> incr diverged; result
+          | Some _ | None ->
+            (* A hash neither pending nor terminal cannot arise: pending
+               is defined as the complement of terminal. *)
+            None))
+      all_jobs
+  in
+  let progress =
+    {
+      total = List.length all_jobs;
+      executed = List.length pending;
+      skipped = List.length all_jobs - List.length pending;
+      completed = !completed;
+      diverged = !diverged;
+      timeout = !timeout;
+      crashed = !crashed;
+    }
+  in
+  { runs; progress }
+
+let run ?domains ?budget ?retries ?journal c =
+  let all_jobs = jobs c in
+  let handle = Option.map (fun path -> Journal.create path (manifest c)) journal in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Option.iter Journal.close handle)
+      (fun () -> run_pending ?domains ?budget ?retries handle all_jobs
+          (Hashtbl.create 0) all_jobs)
+  in
+  result
+
+let ( let* ) = Result.bind
+
+let resume ?domains ?budget ?retries ~journal () =
+  let* handle, loaded = Journal.append_to journal in
+  let* all_jobs = Journal.manifest_jobs loaded.Journal.manifest in
+  let terminal = Journal.terminal loaded.Journal.entries in
+  let pending =
+    List.filter (fun job -> not (Hashtbl.mem terminal (Job.hash job))) all_jobs
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Journal.close handle)
+      (fun () ->
+        run_pending ?domains ?budget ?retries (Some handle) all_jobs terminal pending)
+  in
+  Ok result
+
+let status ~journal =
+  let* loaded = Journal.load journal in
+  let* all_jobs = Journal.manifest_jobs loaded.Journal.manifest in
+  let terminal = Journal.terminal loaded.Journal.entries in
+  let count pred =
+    Hashtbl.fold (fun _ e acc -> if pred e.Journal.status then acc + 1 else acc)
+      terminal 0
+  in
+  (* Timeouts/crashes are non-terminal (they will be retried): count the
+     latest non-terminal classification of still-pending jobs instead. *)
+  let latest = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace latest e.Journal.job e) loaded.Journal.entries;
+  let timeout = ref 0 and crashed = ref 0 in
+  List.iter
+    (fun job ->
+      let h = Job.hash job in
+      if not (Hashtbl.mem terminal h) then
+        match Hashtbl.find_opt latest h with
+        | Some { Journal.status = Timeout; _ } -> incr timeout
+        | Some { Journal.status = Crashed _; _ } -> incr crashed
+        | _ -> ())
+    all_jobs;
+  let progress =
+    {
+      total = List.length all_jobs;
+      executed = 0;
+      skipped = Hashtbl.length terminal;
+      completed = count (function Journal.Completed -> true | _ -> false);
+      diverged = count (function Journal.Diverged -> true | _ -> false);
+      timeout = !timeout;
+      crashed = !crashed;
+    }
+  in
+  Ok (loaded.Journal.manifest, progress)

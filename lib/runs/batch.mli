@@ -1,0 +1,77 @@
+(** Durable, resumable sweep batches: the glue between {!Job},
+    {!Journal} and {!Scheduler} that the CLI, the bench harness and the
+    experiment reproduction drive. *)
+
+type config = {
+  model : Gncg_workload.Instances.model;
+  ns : int list;
+  alphas : float list;
+  seeds : int list;
+  rule : Job.rule;
+  evaluator : Job.evaluator;
+  max_steps : int;
+}
+
+val config :
+  ?rule:Job.rule ->
+  ?evaluator:Job.evaluator ->
+  ?max_steps:int ->
+  Gncg_workload.Instances.model ->
+  ns:int list ->
+  alphas:float list ->
+  seeds:int list ->
+  config
+
+val jobs : config -> Job.spec list
+(** The deterministic job list, in {!Gncg_workload.Sweep.cartesian}
+    order. *)
+
+val manifest : config -> Journal.manifest
+
+type progress = {
+  total : int;  (** batch size *)
+  executed : int;  (** jobs run by {e this} invocation *)
+  skipped : int;  (** jobs already terminal in the journal *)
+  completed : int;
+  diverged : int;
+  timeout : int;
+  crashed : int;  (** classification counts over the whole batch *)
+}
+
+val pp_progress : Format.formatter -> progress -> unit
+
+type summary = {
+  runs : Gncg_workload.Sweep.run list;
+      (** [Completed]/[Diverged] run records, in job order — the same
+          shape [Sweep.dynamics_batch] returns, feeding {!Report}
+          unchanged. *)
+  progress : progress;
+}
+
+val run :
+  ?domains:int ->
+  ?budget:float ->
+  ?retries:int ->
+  ?journal:string ->
+  config ->
+  summary
+(** Executes the whole batch through the work-stealing scheduler.  With
+    [journal], creates/truncates the file first and appends every result
+    as it lands, so the batch can be killed and picked up by {!resume}. *)
+
+val resume :
+  ?domains:int ->
+  ?budget:float ->
+  ?retries:int ->
+  journal:string ->
+  unit ->
+  (summary, string) result
+(** Reloads the journal, re-derives the job list from its manifest, and
+    executes only the jobs with no terminal entry ([Timeout]/[Crashed]
+    entries are retried; [Completed]/[Diverged] are skipped).  Journaled
+    and fresh results are merged in job order, so an interrupted-then-
+    resumed sweep reports exactly what an uninterrupted one would. *)
+
+val status : journal:string -> (Journal.manifest * progress, string) result
+(** Read-only: the manifest plus classification counts ([executed] is 0
+    by construction — nothing runs). *)

@@ -1,0 +1,239 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let num_int i = Num (float_of_int i)
+
+(* --- rendering --------------------------------------------------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_num buf x =
+  if not (Float.is_finite x) then Buffer.add_string buf "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" x)
+  else
+    (* %.17g round-trips every finite double. *)
+    Buffer.add_string buf (Printf.sprintf "%.17g" x)
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num x -> add_num buf x
+    | Str s -> escape_string buf s
+    | List vs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          go v)
+        vs;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          go v)
+        kvs;
+      Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
+(* --- parsing ----------------------------------------------------------- *)
+
+exception Bad of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | Some c' -> fail "expected %C at byte %d, found %C" c !pos c'
+    | None -> fail "expected %C at byte %d, found end of input" c !pos
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail "bad literal at byte %d" !pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        (if !pos >= n then fail "unterminated escape";
+         let e = s.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+           if !pos + 4 > n then fail "truncated \\u escape";
+           let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+           pos := !pos + 4;
+           (* The journal never emits code points above the control range;
+              decode the BMP scalar to UTF-8 for tolerance. *)
+           if code < 0x80 then Buffer.add_char buf (Char.chr code)
+           else if code < 0x800 then begin
+             Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+             Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+             Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+           end
+         | c -> fail "bad escape \\%C" c);
+        go ()
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let numchar c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && numchar s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some x -> Num x
+    | None -> fail "bad number at byte %d" start
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); List [])
+      else begin
+        let items = ref [ parse_value () ] in
+        let rec more () =
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items := parse_value () :: !items;
+            more ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']' at byte %d" !pos
+        in
+        more ();
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Obj [])
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          (k, parse_value ())
+        in
+        let items = ref [ field () ] in
+        let rec more () =
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items := field () :: !items;
+            more ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}' at byte %d" !pos
+        in
+        more ();
+        Obj (List.rev !items)
+      end
+    | Some c -> if numchar_start c then parse_number () else fail "unexpected %C at byte %d" c !pos
+  and numchar_start c = match c with '0' .. '9' | '-' -> true | _ -> false in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage at byte %d" !pos;
+    v
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+(* --- accessors --------------------------------------------------------- *)
+
+let member k = function
+  | Obj kvs -> (
+    match List.assoc_opt k kvs with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "missing member %S" k))
+  | _ -> Error (Printf.sprintf "not an object (looking for %S)" k)
+
+let get_int = function
+  | Num x when Float.is_integer x -> Ok (int_of_float x)
+  | _ -> Error "expected an integer"
+
+let get_float = function
+  | Num x -> Ok x
+  | Null -> Ok Float.nan
+  | _ -> Error "expected a number"
+
+let get_string = function Str s -> Ok s | _ -> Error "expected a string"
+
+let get_bool = function Bool b -> Ok b | _ -> Error "expected a boolean"
+
+let get_list = function List vs -> Ok vs | _ -> Error "expected an array"

@@ -1,0 +1,36 @@
+(** Minimal JSON values for the journal's JSONL lines.
+
+    The repository deliberately has no JSON dependency; the journal needs
+    only flat-ish objects of scalars, so this module implements the small
+    subset it emits: no exponent tricks, integers rendered without a
+    decimal point, non-finite floats rendered as [null] (JSON has no
+    NaN/infinity).  [parse] accepts general JSON text (nested objects,
+    arrays, escapes) so reload tolerates hand-edited files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val num_int : int -> t
+val to_string : t -> string
+(** Single-line rendering (no newlines — one value per journal line). *)
+
+val parse : string -> (t, string) result
+(** Parses one JSON value; [Error] describes the first offending byte.
+    Trailing garbage after the value is an error. *)
+
+(** Accessors: [Error] with the member name when shape does not match. *)
+
+val member : string -> t -> (t, string) result
+val get_int : t -> (int, string) result
+val get_float : t -> (float, string) result
+(** [Null] reads back as [Float.nan] — the rendering of non-finite
+    numbers is lossy by design, and callers treat the two the same. *)
+
+val get_string : t -> (string, string) result
+val get_bool : t -> (bool, string) result
+val get_list : t -> (t list, string) result

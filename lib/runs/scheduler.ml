@@ -1,0 +1,107 @@
+module Ws_deque = Gncg_util.Ws_deque
+
+type 'r outcome =
+  | Completed of 'r
+  | Diverged of 'r
+  | Timeout
+  | Crashed of string
+
+let outcome_map f = function
+  | Completed r -> Completed (f r)
+  | Diverged r -> Diverged (f r)
+  | Timeout -> Timeout
+  | Crashed msg -> Crashed msg
+
+type 'r report = { outcome : 'r outcome; attempts : int; elapsed : float }
+
+(* One job, with the budget / retry / divergence classification.  Shared
+   verbatim by the parallel and sequential runners so they cannot drift. *)
+let attempt ~budget ~retries ~diverged exec job =
+  let rec go attempt_no =
+    let t0 = Unix.gettimeofday () in
+    match exec job with
+    | result ->
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let outcome =
+        if elapsed > budget then Timeout
+        else if diverged result then Diverged result
+        else Completed result
+      in
+      { outcome; attempts = attempt_no; elapsed }
+    | exception e ->
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if attempt_no <= retries then go (attempt_no + 1)
+      else { outcome = Crashed (Printexc.to_string e); attempts = attempt_no; elapsed }
+  in
+  go 1
+
+let run_sequential ?(budget = Float.infinity) ?(retries = 0)
+    ?(diverged = fun _ -> false) ?(on_result = fun _ _ -> ()) exec jobs =
+  List.map
+    (fun job ->
+      let report = attempt ~budget ~retries ~diverged exec job in
+      on_result job report;
+      (job, report))
+    jobs
+
+let run ?domains ?(budget = Float.infinity) ?(retries = 0) ?(diverged = fun _ -> false)
+    ?(on_result = fun _ _ -> ()) exec jobs =
+  let n = List.length jobs in
+  let domains =
+    match domains with
+    | Some d when d >= 1 -> min d (max n 1)
+    | Some _ -> invalid_arg "Scheduler.run: domains must be positive"
+    | None -> min (Gncg_util.Parallel.default_domains ()) (max n 1)
+  in
+  if domains <= 1 then run_sequential ~budget ~retries ~diverged ~on_result exec jobs
+  else begin
+    let jobs = Array.of_list jobs in
+    let reports = Array.make n None in
+    let deques = Array.init domains (fun _ -> Ws_deque.create ()) in
+    (* Deal round-robin: neighbouring jobs (typically neighbouring sweep
+       points, with similar cost) spread across domains up front. *)
+    Array.iteri (fun i _ -> Ws_deque.push deques.(i mod domains) i) jobs;
+    let result_lock = Mutex.create () in
+    let worker w () =
+      let next_job () =
+        match Ws_deque.pop deques.(w) with
+        | Some i -> Some i
+        | None ->
+          (* Own deque drained: steal from the siblings, oldest first.  No
+             work is ever added after the deal, so one full empty scan
+             means the batch is done for this worker. *)
+          let rec scan k =
+            if k >= domains then None
+            else
+              match Ws_deque.steal deques.((w + k) mod domains) with
+              | Some i -> Some i
+              | None -> scan (k + 1)
+          in
+          scan 1
+      in
+      let rec loop () =
+        match next_job () with
+        | None -> ()
+        | Some i ->
+          let report = attempt ~budget ~retries ~diverged exec jobs.(i) in
+          Mutex.lock result_lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock result_lock)
+            (fun () ->
+              reports.(i) <- Some report;
+              on_result jobs.(i) report);
+          loop ()
+      in
+      loop ()
+    in
+    let handles = List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+    worker 0 ();
+    List.iter Domain.join handles;
+    Array.to_list
+      (Array.mapi
+         (fun i job ->
+           match reports.(i) with
+           | Some r -> (job, r)
+           | None -> assert false (* every dealt index is executed exactly once *))
+         jobs)
+  end

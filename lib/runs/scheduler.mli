@@ -1,0 +1,66 @@
+(** Work-stealing job scheduler over OCaml 5 domains.
+
+    [Parallel] (lib/util) splits an index space into static contiguous
+    chunks — the right shape for homogeneous hot loops (APSP rows,
+    per-agent cost sums), and the wrong one for sweep batches, where run
+    times vary by orders of magnitude across [alpha] and a single static
+    chunk of slow jobs idles every other core.  This scheduler deals the
+    jobs round-robin into per-domain deques; each worker pops its own
+    deque from the bottom and, when empty, steals from the top of a
+    sibling's, so load migrates to idle cores automatically.
+
+    One pathological instance never kills a batch: every job execution is
+    classified — an uncaught exception is [Crashed] (and retried up to
+    [retries] extra attempts), a job whose wall-clock exceeds [budget] is
+    [Timeout], and a finished result is [Diverged] or [Completed]
+    according to the caller's predicate.
+
+    The module is generic in the job and result types so that the tests
+    can inject crashing, slow and heterogeneous jobs; the sweep
+    instantiation lives in {!Batch}. *)
+
+type 'r outcome =
+  | Completed of 'r
+  | Diverged of 'r
+      (** The job finished but its result is classified unconverged
+          (e.g. dynamics that cycled or ran out of steps). *)
+  | Timeout
+      (** Wall-clock budget exceeded.  Enforcement is post-hoc: a running
+          job cannot be preempted inside a domain, but every job is
+          finite (dynamics are bounded by [max_steps]), so the budget
+          bounds what is {e recorded}, not what runs.  Deterministic jobs
+          are not retried on timeout — the re-run would time out again. *)
+  | Crashed of string  (** Uncaught exception, after all retries. *)
+
+val outcome_map : ('a -> 'b) -> 'a outcome -> 'b outcome
+
+type 'r report = { outcome : 'r outcome; attempts : int; elapsed : float }
+(** [attempts] counts executions (1 + retries used); [elapsed] is the
+    wall-clock of the last attempt in seconds. *)
+
+val run :
+  ?domains:int ->
+  ?budget:float ->
+  ?retries:int ->
+  ?diverged:('r -> bool) ->
+  ?on_result:('a -> 'r report -> unit) ->
+  ('a -> 'r) ->
+  'a list ->
+  ('a * 'r report) list
+(** [run exec jobs] executes every job and returns the reports in the
+    input order (execution order is scheduler-dependent; results must
+    not be).  [on_result] fires once per job as it finishes, serialized
+    under a lock — the journal appends from it.  [domains] defaults to
+    {!Gncg_util.Parallel.default_domains}; [budget] to no limit;
+    [retries] to [0]; [diverged] to [fun _ -> false]. *)
+
+val run_sequential :
+  ?budget:float ->
+  ?retries:int ->
+  ?diverged:('r -> bool) ->
+  ?on_result:('a -> 'r report -> unit) ->
+  ('a -> 'r) ->
+  'a list ->
+  ('a * 'r report) list
+(** Single-domain reference runner with identical classification
+    semantics; the equivalence oracle for {!run}. *)

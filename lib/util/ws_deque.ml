@@ -1,0 +1,51 @@
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int;  (* index of the first (top) element *)
+  mutable size : int;
+  lock : Mutex.t;
+}
+
+let create () = { buf = Array.make 16 None; head = 0; size = 0; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let grow t =
+  let cap = Array.length t.buf in
+  let bigger = Array.make (2 * cap) None in
+  for i = 0 to t.size - 1 do
+    bigger.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- bigger;
+  t.head <- 0
+
+let push t x =
+  with_lock t (fun () ->
+      if t.size = Array.length t.buf then grow t;
+      t.buf.((t.head + t.size) mod Array.length t.buf) <- Some x;
+      t.size <- t.size + 1)
+
+let pop t =
+  with_lock t (fun () ->
+      if t.size = 0 then None
+      else begin
+        let i = (t.head + t.size - 1) mod Array.length t.buf in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        t.size <- t.size - 1;
+        x
+      end)
+
+let steal t =
+  with_lock t (fun () ->
+      if t.size = 0 then None
+      else begin
+        let x = t.buf.(t.head) in
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.size <- t.size - 1;
+        x
+      end)
+
+let length t = with_lock t (fun () -> t.size)

@@ -1,0 +1,26 @@
+(** Work-stealing deque: the owner pushes and pops at the bottom (LIFO),
+    thieves steal from the top (FIFO), so the oldest — on a dealt batch,
+    the largest remaining — block of work migrates first.
+
+    The implementation is a mutex-protected ring buffer, not a lock-free
+    Chase–Lev deque: the runs scheduler executes coarse jobs (whole
+    dynamics runs, milliseconds to minutes each), so contention on the
+    deque is negligible and the simple structure is preferred for its
+    obvious correctness.  All operations are safe to call from any
+    domain. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner side: append at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner side: remove from the bottom (most recently pushed). *)
+
+val steal : 'a t -> 'a option
+(** Thief side: remove from the top (least recently pushed). *)
+
+val length : 'a t -> int
+(** Instantaneous size (racy by nature when other domains are active). *)

@@ -46,20 +46,21 @@ let dynamics_run ?(rule = Gncg.Dynamics.Greedy_response) ?(max_steps = 5000)
     is_tree = Gncg_graph.Connectivity.is_tree g;
   }
 
-let dynamics_batch ?rule ?max_steps ?evaluator model ~ns ~alphas ~seeds =
+let cartesian ~ns ~alphas ~seeds =
   List.concat_map
     (fun n ->
-      List.concat_map
-        (fun alpha ->
-          List.map
-            (fun seed -> dynamics_run ?rule ?max_steps ?evaluator model ~n ~alpha ~seed)
-            seeds)
-        alphas)
+      List.concat_map (fun alpha -> List.map (fun seed -> (n, alpha, seed)) seeds) alphas)
     ns
+
+let dynamics_batch ?rule ?max_steps ?evaluator model ~ns ~alphas ~seeds =
+  List.map
+    (fun (n, alpha, seed) -> dynamics_run ?rule ?max_steps ?evaluator model ~n ~alpha ~seed)
+    (cartesian ~ns ~alphas ~seeds)
 
 let ratios runs =
   List.filter_map (fun r -> if r.converged then Some r.ratio else None) runs
 
+(* Guarded: an empty batch is a defined 0., not the NaN of 0/0. *)
 let converged_fraction runs =
   match runs with
   | [] -> 0.0

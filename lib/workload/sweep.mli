@@ -32,6 +32,12 @@ val dynamics_run :
     ([`Incremental]); pass [`Reference] to force the from-scratch
     evaluator. *)
 
+val cartesian :
+  ns:int list -> alphas:float list -> seeds:int list -> (int * float * int) list
+(** The batch grid in canonical order: [n]-major, then [alpha], then
+    seed.  This order is a contract — the journal of the runs subsystem
+    re-derives job lists from it on resume. *)
+
 val dynamics_batch :
   ?rule:Gncg.Dynamics.rule ->
   ?max_steps:int ->
@@ -43,6 +49,7 @@ val dynamics_batch :
   run list
 
 val ratios : run list -> float list
-(** Ratios of the converged runs. *)
+(** Ratios of the converged runs ([[]] on an empty batch). *)
 
 val converged_fraction : run list -> float
+(** Fraction of converged runs; [0.] — not NaN — on an empty batch. *)

@@ -304,6 +304,45 @@ let prop_thm20_ratio seed =
     (Gncg_constructions.Thm20_cycle.cost_ratio ~alpha)
     (Gncg.Quality.metric_upper alpha)
 
+(* Parallel skeleton edge cases: the chunking math must stay correct at
+   the degenerate corners (n = 0, fewer items than domains, a single
+   domain), where an off-by-one in the split silently drops or repeats
+   indices.  Generators draw from those corners explicitly rather than
+   relying on small_nat to hit them. *)
+
+let parallel_corner_gen =
+  QCheck.make
+    ~print:(fun (n, domains, seed) ->
+      Printf.sprintf "n=%d domains=%d seed=%d" n domains seed)
+    QCheck.Gen.(
+      let* domains = oneofl [ 1; 2; 3; 4; 7 ] in
+      let* n = oneofl [ 0; 1; domains - 1; domains; domains + 1; 10 * domains ] in
+      let* seed = small_nat in
+      return (n, domains, seed))
+
+let prop_parallel_init_matches_array (n, domains, seed) =
+  let f i = (i * 31) lxor seed in
+  Gncg_util.Parallel.init ~domains n f = Array.init n f
+
+let prop_parallel_quantifiers_match (n, domains, seed) =
+  (* A predicate that is false on a pseudo-random subset (sometimes empty,
+     sometimes everything), so both the early-exit and the full-scan paths
+     get exercised. *)
+  let pred i = (i + seed) mod 3 <> 0 in
+  let seq_all = ref true and seq_any = ref false in
+  for i = 0 to n - 1 do
+    seq_all := !seq_all && pred i;
+    seq_any := !seq_any || pred i
+  done;
+  Gncg_util.Parallel.for_all ~domains n pred = !seq_all
+  && Gncg_util.Parallel.exists ~domains n pred = !seq_any
+
+let prop_parallel_vacuous (_, domains, _) =
+  (* Quantifiers over the empty index space. *)
+  Gncg_util.Parallel.for_all ~domains 0 (fun _ -> false)
+  && (not (Gncg_util.Parallel.exists ~domains 0 (fun _ -> true)))
+  && Gncg_util.Parallel.init ~domains 0 (fun i -> i) = [||]
+
 let suites =
   [
     ( "properties",
@@ -329,5 +368,11 @@ let suites =
         qtest "dist-matrix insertion exact" seed_gen prop_dist_matrix_insertion;
         qtest ~count:20 "fast-response equivalence" seed_gen prop_fast_response_equivalence;
         qtest "betweenness distance identity" seed_gen prop_betweenness_distance_identity;
+        qtest ~count:60 "parallel init = Array.init at corners" parallel_corner_gen
+          prop_parallel_init_matches_array;
+        qtest ~count:60 "parallel for_all/exists = sequential at corners"
+          parallel_corner_gen prop_parallel_quantifiers_match;
+        qtest ~count:20 "parallel quantifiers vacuous on n=0" parallel_corner_gen
+          prop_parallel_vacuous;
       ] );
   ]

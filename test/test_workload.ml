@@ -97,6 +97,52 @@ let test_structured_output () =
            contains 0)
          [ "\"model\""; "\"ratio\""; "\"is_tree\"" ])
 
+let test_empty_sweep_guards () =
+  (* Aggregations over an empty sweep must stay total: [] in, neutral
+     values out, never NaN or a raise. *)
+  Alcotest.(check (list (float 0.))) "ratios of [] is []" []
+    (W.Sweep.ratios []);
+  Alcotest.(check (float 0.)) "converged_fraction of [] is 0" 0.0
+    (W.Sweep.converged_fraction []);
+  check_false "converged_fraction of [] is not NaN"
+    (Float.is_nan (W.Sweep.converged_fraction []))
+
+let test_json_nonfinite_roundtrip () =
+  (* Runs that diverged (or have an unknown OPT) carry NaN/infinite
+     fields; runs_to_json must emit null there so the payload stays
+     parseable by any strict JSON reader. *)
+  let base =
+    List.hd
+      (W.Sweep.dynamics_batch
+         (W.Instances.Tree { wmin = 1.0; wmax = 5.0 })
+         ~ns:[ 5 ] ~alphas:[ 1.0 ] ~seeds:[ 1 ])
+  in
+  let broken =
+    { base with W.Sweep.ratio = Float.nan; diameter = Float.infinity;
+      stretch = Float.neg_infinity }
+  in
+  match Gncg_runs.Json.parse (W.Report.runs_to_json [ broken; base ]) with
+  | Error e -> Alcotest.failf "runs_to_json produced unparseable JSON: %s" e
+  | Ok (Gncg_runs.Json.List [ b; ok ]) ->
+    let field name v =
+      match Gncg_runs.Json.member name v with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "missing %s: %s" name e
+    in
+    List.iter
+      (fun name ->
+        match field name b with
+        | Gncg_runs.Json.Null -> ()
+        | _ -> Alcotest.failf "non-finite %s did not render as null" name)
+      [ "ratio"; "diameter"; "stretch" ];
+    (match field "ratio" ok with
+    | Gncg_runs.Json.Num x -> check_true "finite ratio preserved" (Float.is_finite x)
+    | _ -> Alcotest.fail "finite ratio should stay a number");
+    (match field "n" ok with
+    | Gncg_runs.Json.Num x -> check_float "n survives" (float_of_int base.W.Sweep.n) x
+    | _ -> Alcotest.fail "n should be a number")
+  | Ok _ -> Alcotest.fail "expected a two-element JSON array"
+
 let test_report_renders () =
   let runs =
     W.Sweep.dynamics_batch
@@ -117,6 +163,8 @@ let suites =
         case "model names distinct" test_model_names_distinct;
         case "dynamics run record" test_dynamics_run_record;
         case "batch shape" test_batch_shape;
+        case "empty sweep guards" test_empty_sweep_guards;
+        case "json: non-finite fields are null" test_json_nonfinite_roundtrip;
         case "report rendering" test_report_renders;
         case "csv & json output" test_structured_output;
       ] );
