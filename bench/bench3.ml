@@ -1,0 +1,204 @@
+(* BENCH_3.json: machine-readable before/after evidence for the flat
+   distance engine (PR 3).  Micro benches run under Bechamel (ns/op and
+   minor words/op per OLS fit); the dynamics macro bench times full
+   greedy-response convergence at n=100 with wall clocks, against the
+   committed pre-PR baseline measured on the same instance
+   (seed 1, alpha = 2, uniform metric weights in [1, 6], round-robin).
+
+   Schema (validated by bench/smoke.exe --validate-json):
+     { "schema": "gncg-bench-3",
+       "baseline": { "op", "n", "ns_per_op" },
+       "speedup_vs_baseline": <float>,
+       "results": [ { "op", "n", "ns_per_op", "allocs_per_op" }, ... ] } *)
+
+open Bechamel
+open Toolkit
+module Json = Gncg_runs.Json
+
+let schema_name = "gncg-bench-3"
+
+(* Wall clock of the pre-PR incremental evaluator on the macro instance,
+   measured at commit edec165 (see CHANGES.md); the acceptance bar for
+   this PR is >= 2x against it. *)
+let baseline_dynamics_ns = 1.529e9
+
+let macro_instance () =
+  let rng = Gncg_util.Prng.create 1 in
+  let host =
+    Gncg.Host.make ~alpha:2.0
+      (Gncg_metric.Random_host.uniform_metric rng ~n:100 ~lo:1.0 ~hi:6.0)
+  in
+  let start = Gncg_workload.Instances.random_profile rng host in
+  (host, start)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1e9)
+
+(* Median-of-k wall-clock nanoseconds plus minor words allocated per op. *)
+let wall ~reps f =
+  let words0 = Gc.minor_words () in
+  let samples = List.init reps (fun _ -> snd (time_once f)) in
+  let words = (Gc.minor_words () -. words0) /. float_of_int reps in
+  let sorted = List.sort Float.compare samples in
+  (List.nth sorted (reps / 2), words)
+
+let micro_tests () =
+  let rng = Gncg_util.Prng.create 3 in
+  let n = 100 in
+  let host =
+    Gncg.Host.make ~alpha:2.0
+      (Gncg_metric.Random_host.uniform_metric rng ~n ~lo:1.0 ~hi:6.0)
+  in
+  let profile = Gncg_workload.Instances.random_profile rng host in
+  let graph = Gncg.Network.graph host profile in
+  let incr = Gncg_graph.Incr_apsp.of_graph graph in
+  let dm = Gncg_graph.Dist_matrix.of_graph graph in
+  let st = Gncg.Net_state.create host profile in
+  let u, v =
+    let g = Gncg_graph.Incr_apsp.graph incr in
+    let rec pick u v =
+      if u <> v && not (Gncg_graph.Wgraph.has_edge g u v) then (u, v)
+      else if v + 1 < n then pick u (v + 1)
+      else pick (u + 1) 0
+    in
+    pick 0 1
+  in
+  let w = Gncg.Host.weight host u v in
+  [
+    ( "apsp-rebuild",
+      Test.make ~name:"apsp-rebuild" (Staged.stage (fun () ->
+          ignore (Gncg_graph.Dijkstra.apsp graph))) );
+    ( "edge-flip-incremental",
+      Test.make ~name:"edge-flip-incremental" (Staged.stage (fun () ->
+          ignore (Gncg_graph.Incr_apsp.add_edge incr u v w);
+          ignore (Gncg_graph.Incr_apsp.remove_edge incr u v))) );
+    ( "add-kernel-streamed",
+      Test.make ~name:"add-kernel-streamed" (Staged.stage (fun () ->
+          ignore (Gncg_graph.Incr_apsp.dist_sum_with_edge incr u v w))) );
+    ( "add-kernel-materialized",
+      Test.make ~name:"add-kernel-materialized"
+        (Staged.stage (fun () ->
+             (* The pre-PR shape: materialize both rows and the per-entry
+                minima, then sum. *)
+             let d_u = Gncg_graph.Incr_apsp.row incr u in
+             let d_v = Gncg_graph.Incr_apsp.row incr v in
+             let per = Array.init n (fun x -> Float.min d_u.(x) (w +. d_v.(x))) in
+             ignore (Gncg_util.Flt.sum per))) );
+    ( "total-with-edge-added",
+      Test.make ~name:"total-with-edge-added" (Staged.stage (fun () ->
+          ignore (Gncg_graph.Dist_matrix.total_with_edge_added dm u v w))) );
+    ( "best-move-state",
+      Test.make ~name:"best-move-state" (Staged.stage (fun () ->
+          ignore (Gncg.Fast_response.best_move_state st ~agent:u))) );
+  ]
+
+let run_micro () =
+  let named = micro_tests () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) ~kde:None () in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"bench3" (List.map snd named))
+  in
+  let estimate instance name =
+    let results = Analyze.all ols instance raw in
+    let found = ref Float.nan in
+    Hashtbl.iter
+      (fun k r ->
+        if k = "bench3/" ^ name then
+          match Analyze.OLS.estimates r with Some (x :: _) -> found := x | _ -> ())
+      results;
+    !found
+  in
+  List.map
+    (fun (name, _) ->
+      ( name,
+        estimate Instance.monotonic_clock name,
+        estimate Instance.minor_allocated name ))
+    named
+
+let row ~op ~n ~ns ~allocs =
+  Json.Obj
+    [
+      ("op", Json.Str op);
+      ("n", Json.num_int n);
+      ("ns_per_op", Json.Num ns);
+      ("allocs_per_op", Json.Num allocs);
+    ]
+
+let run ~path =
+  Printf.printf "bench3: micro kernels (Bechamel)...\n%!";
+  let micro = run_micro () in
+  let host, start = macro_instance () in
+  Printf.printf "bench3: dynamics-converge n=100 (3 runs)...\n%!";
+  let converge () =
+    match
+      Gncg.Dynamics.run ~max_steps:50_000 ~evaluator:`Incremental
+        ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host
+        start
+    with
+    | Gncg.Dynamics.Converged { profile; _ } -> profile
+    | _ -> failwith "bench3: macro dynamics did not converge"
+  in
+  let dyn_ns, dyn_words = wall ~reps:3 converge in
+  let ge = converge () in
+  Printf.printf "bench3: equilibrium tracker n=100...\n%!";
+  let st = Gncg.Net_state.create host ge in
+  let full_ns, full_words =
+    wall ~reps:5 (fun () ->
+        Gncg.Equilibrium.Tracker.create Gncg.Equilibrium.GE (Gncg.Net_state.copy st))
+  in
+  let tracker = Gncg.Equilibrium.Tracker.create Gncg.Equilibrium.GE st in
+  let mv =
+    (* A reversible local perturbation: buy one absent edge, refresh,
+       sell it back, refresh. *)
+    let n = Gncg.Strategy.n ge in
+    let rec pick u v =
+      if u <> v && Gncg.Move.addable host (Gncg.Net_state.profile st) ~agent:u v then (u, v)
+      else if v + 1 < n then pick u (v + 1)
+      else pick (u + 1) 0
+    in
+    pick 0 1
+  in
+  let refresh_ns, refresh_words =
+    wall ~reps:5 (fun () ->
+        let u, v = mv in
+        ignore (Gncg.Net_state.apply_move st ~agent:u (Gncg.Move.Add v));
+        Gncg.Equilibrium.Tracker.refresh tracker;
+        ignore (Gncg.Net_state.apply_move st ~agent:u (Gncg.Move.Delete v));
+        Gncg.Equilibrium.Tracker.refresh tracker)
+  in
+  let speedup = baseline_dynamics_ns /. dyn_ns in
+  let results =
+    List.map (fun (op, ns, allocs) -> row ~op ~n:100 ~ns ~allocs) micro
+    @ [
+        row ~op:"dynamics-converge" ~n:100 ~ns:dyn_ns ~allocs:dyn_words;
+        row ~op:"equilibrium-full-scan" ~n:100 ~ns:full_ns ~allocs:full_words;
+        row ~op:"equilibrium-refresh-2moves" ~n:100 ~ns:refresh_ns ~allocs:refresh_words;
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str schema_name);
+        ("generated_by", Json.Str "bench/main.exe --json");
+        ( "baseline",
+          Json.Obj
+            [
+              ("op", Json.Str "dynamics-converge");
+              ("n", Json.num_int 100);
+              ("ns_per_op", Json.Num baseline_dynamics_ns);
+            ] );
+        ("speedup_vs_baseline", Json.Num speedup);
+        ("results", Json.List results);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "bench3: dynamics-converge %.3f s (baseline %.3f s, %.2fx) -> %s\n%!"
+    (dyn_ns /. 1e9) (baseline_dynamics_ns /. 1e9) speedup path

@@ -6,10 +6,19 @@
      dune exec bench/main.exe -- E4 E8        # selected experiments
      dune exec bench/main.exe -- --no-timings # experiments only
      dune exec bench/main.exe -- --timings    # timings only
+     dune exec bench/main.exe -- --json PATH  # BENCH_3.json only (see bench3.ml)
      dune exec bench/main.exe -- --domains 4  # worker domains for _parallel paths *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let args, json_path =
+    let rec strip_json acc = function
+      | "--json" :: path :: rest -> (List.rev_append acc rest, Some path)
+      | a :: rest -> strip_json (a :: acc) rest
+      | [] -> (List.rev acc, None)
+    in
+    strip_json [] args
+  in
   let args =
     let rec strip_domains = function
       | "--domains" :: d :: rest ->
@@ -31,7 +40,10 @@ let () =
     if selected = [] then Experiments.all
     else List.filter (fun (id, _) -> List.mem id selected) Experiments.all
   in
-  print_endline "Geometric Network Creation Games — reproduction harness";
-  print_endline "(paper: Bilo, Friedrich, Lenzner, Melnichenko, SPAA 2019)";
-  if not timings_only then List.iter (fun (_, f) -> f ()) chosen;
-  if (not no_timings) && selected = [] then Timings.run ()
+  match json_path with
+  | Some path -> Bench3.run ~path
+  | None ->
+    print_endline "Geometric Network Creation Games — reproduction harness";
+    print_endline "(paper: Bilo, Friedrich, Lenzner, Melnichenko, SPAA 2019)";
+    if not timings_only then List.iter (fun (_, f) -> f ()) chosen;
+    if (not no_timings) && selected = [] then Timings.run ()

@@ -10,9 +10,54 @@ let time f =
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("bench-smoke: " ^ msg); exit 1) fmt
 
+(* Schema check for the BENCH_3.json artifact emitted by
+   `bench/main.exe --json` (see bench3.ml): every result row must carry
+   op / n / ns_per_op / allocs_per_op with sane values, and the macro
+   baseline + speedup fields must be present. *)
+let validate_bench_json path =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> fail "%s: %s" path e in
+  let text =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let module J = Gncg_runs.Json in
+  let* doc = J.parse (String.trim text) in
+  let* schema = Result.bind (J.member "schema" doc) J.get_string in
+  if schema <> "gncg-bench-3" then fail "%s: unexpected schema %S" path schema;
+  let* baseline = J.member "baseline" doc in
+  let* base_ns = Result.bind (J.member "ns_per_op" baseline) J.get_float in
+  if not (base_ns > 0.0) then fail "%s: baseline ns_per_op must be positive" path;
+  let* speedup = Result.bind (J.member "speedup_vs_baseline" doc) J.get_float in
+  let* results = Result.bind (J.member "results" doc) J.get_list in
+  if results = [] then fail "%s: empty results" path;
+  let macro = ref None in
+  List.iter
+    (fun r ->
+      let* op = Result.bind (J.member "op" r) J.get_string in
+      let* n = Result.bind (J.member "n" r) J.get_int in
+      let* ns = Result.bind (J.member "ns_per_op" r) J.get_float in
+      let* _allocs = Result.bind (J.member "allocs_per_op" r) J.get_float in
+      if n <= 0 then fail "%s: %s has non-positive n" path op;
+      if Float.is_nan ns || ns <= 0.0 then fail "%s: %s has invalid ns_per_op" path op;
+      if op = "dynamics-converge" then macro := Some ns)
+    results;
+  (match !macro with
+  | None -> fail "%s: missing dynamics-converge macro row" path
+  | Some ns ->
+    if not (Gncg_util.Flt.approx_eq ~tol:0.05 speedup (base_ns /. ns)) then
+      fail "%s: speedup_vs_baseline inconsistent with the macro row" path);
+  Printf.printf "bench-smoke: %s valid (%d results, %.2fx vs baseline)\n%!" path
+    (List.length results) speedup
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (match args with
+  | "--validate-json" :: path :: _ ->
+    validate_bench_json path;
+    exit 0
   | "--domains" :: d :: _ -> (
     match int_of_string_opt d with
     | Some k when k >= 1 -> Gncg_util.Parallel.set_default_domains (Some k)

@@ -1,4 +1,5 @@
 module Flt = Gncg_util.Flt
+module Changed_rows = Gncg_graph.Changed_rows
 
 type rule =
   | Best_response
@@ -14,6 +15,14 @@ type outcome =
   | Converged of { profile : Strategy.t; rounds : int; steps : step list }
   | Cycle of { profiles : Strategy.t list; steps : step list }
   | Out_of_steps of { profile : Strategy.t; steps : step list }
+
+type metrics = {
+  mutable evaluations : int;
+  mutable moves : int;
+  mutable skips : int;
+}
+
+let fresh_metrics () = { evaluations = 0; moves = 0; skips = 0 }
 
 let rule_kinds = function Add_only -> [ `Add ] | _ -> [ `Add; `Delete; `Swap ]
 
@@ -63,8 +72,15 @@ let deviation_full ?(evaluator = `Reference) rule host s u =
 let deviation ?evaluator rule host s u =
   Option.map (fun (s', gain, _) -> (s', gain)) (deviation_full ?evaluator rule host s u)
 
-let run ?(max_steps = 10_000) ?(evaluator = `Reference) ~rule ~scheduler host start =
+(* Can the distance row of [v] enter agent [a]'s row-local verdict?  Only
+   through the insertion kernel Σ_x min(d_a(x), w + d_v(x)), which is
+   evaluated exactly for the targets Move.candidates deems addable. *)
+let eligible_target host s a v = Move.addable host s ~agent:a v
+
+let run ?(max_steps = 10_000) ?(evaluator = `Reference) ?metrics ~rule ~scheduler host
+    start =
   let n = Strategy.n start in
+  let m = match metrics with Some m -> m | None -> fresh_metrics () in
   (* The incremental evaluator threads one mutable state (network + full
      distance matrix) through the whole run: a step then costs an O(n²)
      insertion update (or an affected-sources deletion) instead of a
@@ -74,11 +90,18 @@ let run ?(max_steps = 10_000) ?(evaluator = `Reference) ~rule ~scheduler host st
     | `Incremental, (Greedy_response | Add_only) -> Some (Net_state.create host start)
     | _ -> None
   in
+  (* rowlocal.(u): u's latest "no improving move" verdict was decided with
+     zero what-if Dijkstras — see Fast_response.best_move_state_verdict. *)
+  let rowlocal = Array.make n false in
   let attempt s u =
+    m.evaluations <- m.evaluations + 1;
     match state with
     | Some st -> (
-      match Fast_response.best_move_state ~kinds:(rule_kinds rule) st ~agent:u with
-      | None -> None
+      let best, rl = Fast_response.best_move_state_verdict ~kinds:(rule_kinds rule) st ~agent:u in
+      match best with
+      | None ->
+        rowlocal.(u) <- rl;
+        None
       | Some (mv, gain) ->
         let before = Net_state.agent_cost st u in
         Some (Net_state.apply_move st ~agent:u mv, gain, before))
@@ -111,6 +134,50 @@ let run ?(max_steps = 10_000) ?(evaluator = `Reference) ~rule ~scheduler host st
     Array.fill idle 0 n false;
     idle_count := 0
   in
+  let drop_idle a =
+    if idle.(a) then begin
+      idle.(a) <- false;
+      decr idle_count
+    end
+  in
+  (* After an accepted move, an idle agent [a] stays provably idle —
+     byte-identical verdict to re-running the evaluator — iff its verdict
+     was row-local and none of the verdict's inputs changed:
+
+     - [a]'s own distance row is unchanged ([a] not in the changed-rows
+       report, which is sound by construction);
+     - no strategy pair touching [a] was modified (its purchase cost,
+       owned set, addable set, and co-ownership view are all functions of
+       pairs incident to [a] only);
+     - no changed row belongs to a currently addable target of [a] (the
+       only way another agent's row enters a row-local verdict is the
+       insertion kernel over addable targets; the addable set itself is
+       unchanged by the previous point).
+
+     Everything else is re-examined.  Dijkstra-based verdicts (rowlocal
+     false) depend on the whole graph and are never preserved. *)
+  let settle_after_move st s' =
+    let ch = Net_state.drain_changes st in
+    if ch.Net_state.full then reset_idle ()
+    else begin
+      for a = 0 to n - 1 do
+        if idle.(a) then begin
+          let keep =
+            rowlocal.(a)
+            && (not (Changed_rows.mem ch.Net_state.rows a))
+            && (not (List.exists (fun (x, y) -> x = a || y = a) ch.Net_state.pairs))
+            &&
+            let clean = ref true in
+            Changed_rows.iter
+              (fun v -> if !clean && eligible_target host s' a v then clean := false)
+              ch.Net_state.rows;
+            !clean
+          in
+          if keep then m.skips <- m.skips + 1 else drop_idle a
+        end
+      done
+    end
+  in
   let rec go s step_idx =
     if !idle_count >= n then
       Converged { profile = s; rounds = step_idx / n; steps = List.rev !steps }
@@ -125,6 +192,7 @@ let run ?(max_steps = 10_000) ?(evaluator = `Reference) ~rule ~scheduler host st
         mark_idle u;
         go s (step_idx + 1)
       | Some (s', gain, before) ->
+        m.moves <- m.moves + 1;
         steps := { mover = u; before_cost = before; after_cost = before -. gain } :: !steps;
         let key = Strategy.canonical_key s' in
         (match Hashtbl.find_opt seen key with
@@ -140,7 +208,9 @@ let run ?(max_steps = 10_000) ?(evaluator = `Reference) ~rule ~scheduler host st
         | None ->
           Hashtbl.replace seen key (step_idx + 1);
           trace := s' :: !trace;
-          reset_idle ();
+          (match state with
+          | Some st -> settle_after_move st s'
+          | None -> reset_idle ());
           go s' (step_idx + 1))
     end
   in

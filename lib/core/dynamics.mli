@@ -21,6 +21,19 @@ type scheduler =
 
 type step = { mover : int; before_cost : float; after_cost : float }
 
+(** Instrumentation filled by {!run} when passed in:
+    [evaluations] counts single-agent evaluator calls, [moves] accepted
+    moves, and [skips] agents whose idle verdict was preserved across an
+    accepted move by the dirty-row analysis (incremental evaluator only)
+    instead of being re-evaluated. *)
+type metrics = {
+  mutable evaluations : int;
+  mutable moves : int;
+  mutable skips : int;
+}
+
+val fresh_metrics : unit -> metrics
+
 type outcome =
   | Converged of { profile : Strategy.t; rounds : int; steps : step list }
       (** No agent can improve (w.r.t. the rule): a NE / GE / AE. *)
@@ -37,6 +50,7 @@ type outcome =
 val run :
   ?max_steps:int ->
   ?evaluator:[ `Reference | `Fast | `Incremental ] ->
+  ?metrics:metrics ->
   rule:rule ->
   scheduler:scheduler ->
   Host.t ->
@@ -53,6 +67,12 @@ val run :
     - [`Incremental]: one [Net_state] threaded through the whole run — the
       network and its full distance matrix are maintained across steps, so
       a step costs O(n²) instead of a rebuild plus Dijkstra per candidate.
+      After an accepted move the engine drains the state's change report
+      and preserves the idle verdict of every agent it can prove
+      unaffected (row-local verdict, own row unchanged, no incident
+      strategy pair modified, no changed row among its addable targets) —
+      provably byte-identical to re-evaluating everyone, and the reason a
+      step no longer costs a full rescan.
 
     All three are semantically equivalent (property-tested); tie-breaking
     may differ within float tolerance. *)

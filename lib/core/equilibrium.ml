@@ -131,3 +131,92 @@ let pp_grievance fmt g =
     Format.fprintf fmt " by buying {%s}"
       (String.concat ", " (List.map string_of_int (Strategy.ISet.elements set)))
   | None -> ()
+
+(* --- cached equilibrium scanning over a live Net_state --- *)
+
+module Tracker = struct
+  module Changed_rows = Gncg_graph.Changed_rows
+
+  type t = {
+    kind : kind;
+    st : Net_state.t;
+    happy : Bytes.t;    (* cached per-agent verdict, '\001' = happy *)
+    rowlocal : Bytes.t; (* verdict decided with zero what-if Dijkstras *)
+    mutable last_reevaluated : int;
+  }
+
+  let evaluate t u =
+    let best, rl =
+      Fast_response.best_move_state_verdict ~kinds:(kinds_of t.kind) t.st ~agent:u
+    in
+    Bytes.unsafe_set t.happy u (match best with None -> '\001' | Some _ -> '\000');
+    Bytes.unsafe_set t.rowlocal u (if rl then '\001' else '\000')
+
+  let create kind st =
+    (match kind with
+    | NE -> invalid_arg "Equilibrium.Tracker.create: NE needs the best-response oracle"
+    | GE | AE -> ());
+    let n = Strategy.n (Net_state.profile st) in
+    (* Adopt whatever already accumulated in the state: the full scan
+       below makes it moot. *)
+    ignore (Net_state.drain_changes st);
+    let t =
+      {
+        kind;
+        st;
+        happy = Bytes.make n '\000';
+        rowlocal = Bytes.make n '\000';
+        last_reevaluated = n;
+      }
+    in
+    for u = 0 to n - 1 do
+      evaluate t u
+    done;
+    t
+
+  let state t = t.st
+
+  let kind t = t.kind
+
+  (* Same preservation rule as Dynamics.run: a cached verdict — happy or
+     unhappy — is a pure replay of its inputs when it was row-local and
+     (a) the agent's own distance row is unchanged, (b) no strategy pair
+     incident to the agent was modified, and (c) no changed row belongs
+     to one of its addable targets.  Everything else is re-evaluated;
+     the refreshed verdicts are byte-identical to a full rescan. *)
+  let refresh t =
+    let n = Strategy.n (Net_state.profile t.st) in
+    let ch = Net_state.drain_changes t.st in
+    let host = Net_state.host t.st in
+    let s = Net_state.profile t.st in
+    let dirty u =
+      Bytes.unsafe_get t.rowlocal u = '\000'
+      || Changed_rows.mem ch.Net_state.rows u
+      || List.exists (fun (x, y) -> x = u || y = u) ch.Net_state.pairs
+      ||
+      let hit = ref false in
+      Changed_rows.iter
+        (fun v -> if (not !hit) && Move.addable host s ~agent:u v then hit := true)
+        ch.Net_state.rows;
+      !hit
+    in
+    let reevaluated = ref 0 in
+    for u = 0 to n - 1 do
+      if ch.Net_state.full || dirty u then begin
+        evaluate t u;
+        incr reevaluated
+      end
+    done;
+    t.last_reevaluated <- !reevaluated
+
+  let last_reevaluated t = t.last_reevaluated
+
+  let is_equilibrium t =
+    let n = Bytes.length t.happy in
+    let rec go u = u >= n || (Bytes.unsafe_get t.happy u = '\001' && go (u + 1)) in
+    go 0
+
+  let unhappy t =
+    let n = Bytes.length t.happy in
+    List.filter (fun u -> Bytes.get t.happy u = '\000') (List.init n (fun u -> u))
+end

@@ -69,3 +69,45 @@ val certify_parallel :
     the identical verdict and ordering. *)
 
 val pp_grievance : Format.formatter -> grievance -> unit
+
+(** Cached equilibrium scanning over a live {!Net_state.t}.
+
+    Dynamics and search loops repeatedly ask "is this still an
+    equilibrium / who is unhappy?" after single-move perturbations.  A
+    tracker caches every agent's verdict together with its row-locality
+    flag ({!Fast_response.best_move_state_verdict}); {!Tracker.refresh}
+    drains the state's change report and re-evaluates only the agents
+    whose cached verdict could have been invalidated — the same
+    preservation rule as the dirty-agent skipping in [Dynamics.run],
+    hence byte-identical to a full rescan (property-tested). *)
+module Tracker : sig
+  type t
+
+  val create : kind -> Net_state.t -> t
+  (** Full initial scan of every agent.  The tracker holds onto the state
+      (apply moves through {!Net_state.apply_move} on it, then
+      {!refresh}); it drains any change report already pending.  Raises
+      [Invalid_argument] for [NE] — single-move verdicts cover GE and AE
+      only. *)
+
+  val state : t -> Net_state.t
+
+  val kind : t -> kind
+
+  val refresh : t -> unit
+  (** Re-evaluates exactly the agents whose cached verdict the change
+      report cannot prove intact (own row changed, incident strategy pair
+      modified, a changed row among their addable targets, or a verdict
+      that needed what-if Dijkstras). *)
+
+  val last_reevaluated : t -> int
+  (** Number of agents the most recent {!refresh} (or {!create})
+      re-evaluated — the instrumentation behind the "strictly fewer than
+      n after one local move" guarantee in the tests. *)
+
+  val is_equilibrium : t -> bool
+
+  val unhappy : t -> int list
+  (** Ascending list of agents with an improving single move of the
+      tracker's kind, per the cached verdicts. *)
+end

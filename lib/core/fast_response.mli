@@ -36,7 +36,23 @@ val move_gains_state :
 val best_move_state :
   ?kinds:[ `Add | `Delete | `Swap ] list -> Net_state.t -> agent:int -> (Move.t * float) option
 (** Best improving move per {!move_gains_state} — the per-step engine of
-    the incremental dynamics evaluator. *)
+    the incremental dynamics evaluator.  Candidate enumeration, gain
+    bounds, and what-if Dijkstras all run through the state's
+    preallocated scratch buffers and streaming kernels, so evaluating an
+    agent allocates O(n) transients instead of one row per candidate. *)
+
+val best_move_state_verdict :
+  ?kinds:[ `Add | `Delete | `Swap ] list ->
+  Net_state.t ->
+  agent:int ->
+  (Move.t * float) option * bool
+(** {!best_move_state} plus a row-locality flag: [true] when the verdict
+    was decided with zero what-if Dijkstras, i.e. purely from the live
+    distance rows of the agent and its eligible targets together with
+    the agent's own strategy entry and co-ownership pairs.  Row-local
+    verdicts stay valid while those inputs are untouched — the exactness
+    basis of the dirty-agent skipping in {!Dynamics} and
+    {!Equilibrium}. *)
 
 val round_add_gains : Host.t -> Strategy.t -> (int * int * float) list
 (** [(agent, target, gain)] for every improving addition of every agent,

@@ -15,17 +15,15 @@ let apply s ~agent = function
     if old_t = new_t then invalid_arg "Move.apply: trivial swap";
     Strategy.buy (Strategy.sell s agent old_t) agent new_t
 
+let addable host s ~agent v =
+  v <> agent
+  && (not (Strategy.edge_in_network s agent v))
+  && Float.is_finite (Host.weight host agent v)
+
 let candidates ?(kinds = [ `Add; `Delete; `Swap ]) host s ~agent =
   let n = Strategy.n s in
   let owned = Strategy.strategy s agent in
-  let addable =
-    List.filter
-      (fun v ->
-        v <> agent
-        && (not (Strategy.edge_in_network s agent v))
-        && Float.is_finite (Host.weight host agent v))
-      (List.init n (fun v -> v))
-  in
+  let addable = List.filter (addable host s ~agent) (List.init n (fun v -> v)) in
   let adds = if List.mem `Add kinds then List.map (fun v -> Add v) addable else [] in
   let deletes =
     if List.mem `Delete kinds then List.map (fun v -> Delete v) (ISet.elements owned)

@@ -12,6 +12,14 @@ val apply : Strategy.t -> agent:int -> t -> Strategy.t
 (** Raises [Invalid_argument] for incoherent moves (adding an owned target,
     deleting or swapping an unowned one). *)
 
+val addable : Host.t -> Strategy.t -> agent:int -> int -> bool
+(** Is [v] a legal addition target for the agent — distinct, absent from
+    [G(s)] in both directions, finite host weight?  The shared predicate
+    behind the [Add]/[Swap] candidates here, the streaming kernels of
+    [Fast_response], and the dirty-agent analyses of [Dynamics] and
+    [Equilibrium.Tracker] (a changed distance row can enter a row-local
+    verdict only through an addable target). *)
+
 val candidates : ?kinds:[ `Add | `Delete | `Swap ] list -> Host.t -> Strategy.t -> agent:int -> t list
 (** All coherent single-edge moves for the agent.  [Add v] is proposed only
     when the edge [(u,v)] is absent from [G(s)] in both directions (buying

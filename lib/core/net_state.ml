@@ -1,13 +1,39 @@
 module Wgraph = Gncg_graph.Wgraph
 module Incr_apsp = Gncg_graph.Incr_apsp
+module Changed_rows = Gncg_graph.Changed_rows
 module Flt = Gncg_util.Flt
 
-type t = { host : Host.t; mutable profile : Strategy.t; apsp : Incr_apsp.t }
+type changes = {
+  rows : Changed_rows.t;
+  pairs : (int * int) list;
+  full : bool;
+}
+
+type t = {
+  host : Host.t;
+  mutable profile : Strategy.t;
+  apsp : Incr_apsp.t;
+  costs : float array;          (* per-agent cost cache *)
+  cost_valid : Bytes.t;         (* 1 = costs.(u) is current *)
+  mutable pending_rows : Changed_rows.t;  (* rows changed since last drain *)
+  mutable pending_pairs : (int * int) list; (* strategy pairs modified since last drain *)
+  mutable pending_full : bool;  (* set_profile happened: everything dirty *)
+}
 
 let create host profile =
   if Strategy.n profile <> Host.n host then
     invalid_arg "Net_state.create: profile/host size mismatch";
-  { host; profile; apsp = Incr_apsp.of_graph_no_copy (Network.graph host profile) }
+  let n = Host.n host in
+  {
+    host;
+    profile;
+    apsp = Incr_apsp.of_graph_no_copy (Network.graph host profile);
+    costs = Array.make n 0.0;
+    cost_valid = Bytes.make n '\000';
+    pending_rows = Changed_rows.create n;
+    pending_pairs = [];
+    pending_full = false;
+  }
 
 let host t = t.host
 
@@ -19,9 +45,22 @@ let dist t u v = Incr_apsp.distance t.apsp u v
 
 let dist_row t u = Incr_apsp.row t.apsp u
 
-let agent_dist_sum t u = Flt.sum (Incr_apsp.row t.apsp u)
+let dist_row_into t u dst = Incr_apsp.row_into t.apsp u dst
 
-let agent_cost t u = Cost.agent_cost_with_dists t.host t.profile u (Incr_apsp.row t.apsp u)
+let agent_dist_sum t u = Incr_apsp.dist_sum t.apsp u
+
+let dist_sum_with_edge t u v w = Incr_apsp.dist_sum_with_edge t.apsp u v w
+
+let min_sum_against t r v w = Incr_apsp.min_sum_against t.apsp r v w
+
+let agent_cost t u =
+  if Bytes.unsafe_get t.cost_valid u = '\001' then Array.unsafe_get t.costs u
+  else begin
+    let c = Cost.agent_edge_cost t.host t.profile u +. Incr_apsp.dist_sum t.apsp u in
+    Array.unsafe_set t.costs u c;
+    Bytes.unsafe_set t.cost_valid u '\001';
+    c
+  end
 
 let social_cost t =
   let n = Strategy.n t.profile in
@@ -31,24 +70,54 @@ let social_cost t =
   done;
   !acc
 
+(* --- change bookkeeping --- *)
+
+let invalidate_rows t changed =
+  Changed_rows.iter (fun r -> Bytes.unsafe_set t.cost_valid r '\000') changed;
+  Changed_rows.union_into ~dst:t.pending_rows changed
+
+let record_pair t a b =
+  (* The pair's strategy entry changed: [a]'s purchase cost is stale, and
+     both endpoints' ownership view of the edge (edge_survives_sale etc.)
+     may have flipped even when the network did not. *)
+  Bytes.unsafe_set t.cost_valid a '\000';
+  t.pending_pairs <- (a, b) :: t.pending_pairs
+
+let drain_changes t =
+  let rows = t.pending_rows and pairs = t.pending_pairs and full = t.pending_full in
+  t.pending_rows <- Changed_rows.create (Host.n t.host);
+  t.pending_pairs <- [];
+  t.pending_full <- false;
+  { rows; pairs; full }
+
+let has_pending_changes t =
+  t.pending_full
+  || t.pending_pairs <> []
+  || not (Changed_rows.is_empty t.pending_rows)
+
 (* Network-level edge deltas.  An edge (a,b) is in the network iff either
    side owns it; finite host weight is required, matching Network.graph. *)
 let net_add t a b =
   let w = Host.weight t.host a b in
   if Float.is_finite w && not (Wgraph.has_edge (graph t) a b) then
-    Incr_apsp.add_edge t.apsp a b w
+    invalidate_rows t (Incr_apsp.add_edge t.apsp a b w)
 
-let net_remove t a b = Incr_apsp.remove_edge t.apsp a b
+let net_remove t a b = invalidate_rows t (Incr_apsp.remove_edge t.apsp a b)
 
 let apply_move t ~agent mv =
   let s = t.profile in
   let s' = Move.apply s ~agent mv in
   (match mv with
-  | Move.Add v -> if not (Strategy.edge_in_network s agent v) then net_add t agent v
+  | Move.Add v ->
+    record_pair t agent v;
+    if not (Strategy.edge_in_network s agent v) then net_add t agent v
   | Move.Delete v ->
+    record_pair t agent v;
     (* The built edge persists iff the other side also bought it. *)
     if not (Strategy.owns s v agent) then net_remove t agent v
   | Move.Swap (old_t, new_t) ->
+    record_pair t agent old_t;
+    record_pair t agent new_t;
     if not (Strategy.owns s old_t agent) then net_remove t agent old_t;
     if not (Strategy.edge_in_network s agent new_t) then net_add t agent new_t);
   t.profile <- s';
@@ -62,15 +131,35 @@ let set_profile t s' =
      additions from the new profile's ownership lists. *)
   let stale = ref [] in
   Wgraph.iter_edges (graph t) (fun u v _ -> if not (in_new u v) then stale := (u, v) :: !stale);
+  t.profile <- s';
   List.iter (fun (u, v) -> net_remove t u v) !stale;
   List.iter
     (fun (u, v) -> if not (Wgraph.has_edge (graph t) u v) then net_add t u v)
     (Strategy.owned_edges s');
-  t.profile <- s'
+  (* Ownership may have moved arbitrarily even where the network did not:
+     every cached verdict upstream is suspect. *)
+  Bytes.fill t.cost_valid 0 (Bytes.length t.cost_valid) '\000';
+  t.pending_full <- true
 
 let sssp_edited t ?remove ?add source = Incr_apsp.sssp_edited t.apsp ?remove ?add source
 
-let copy t = { host = t.host; profile = t.profile; apsp = Incr_apsp.copy t.apsp }
+let sssp_edited_into t ?remove ?add source dst =
+  Incr_apsp.sssp_edited_into t.apsp ?remove ?add source dst
+
+let sssp_edited_sum t ?remove ?add source =
+  Incr_apsp.sssp_edited_sum t.apsp ?remove ?add source
+
+let copy t =
+  {
+    host = t.host;
+    profile = t.profile;
+    apsp = Incr_apsp.copy t.apsp;
+    costs = Array.copy t.costs;
+    cost_valid = Bytes.copy t.cost_valid;
+    pending_rows = Changed_rows.copy t.pending_rows;
+    pending_pairs = t.pending_pairs;
+    pending_full = t.pending_full;
+  }
 
 let check_consistent t =
   let reference = Gncg_graph.Dijkstra.apsp (Network.graph t.host t.profile) in
@@ -80,5 +169,13 @@ let check_consistent t =
     for v = 0 to n - 1 do
       if not (Flt.approx_eq (dist t u v) reference.(u).(v)) then ok := false
     done
+  done;
+  (* The cost cache must agree with a from-scratch evaluation wherever it
+     claims validity. *)
+  for u = 0 to n - 1 do
+    if Bytes.get t.cost_valid u = '\001' then begin
+      let fresh = Cost.agent_edge_cost t.host t.profile u +. Incr_apsp.dist_sum t.apsp u in
+      if not (Flt.approx_eq t.costs.(u) fresh) then ok := false
+    end
   done;
   !ok

@@ -7,13 +7,32 @@
     network, so that
 
     - applying a move costs O(n²) (insertion) or one Dijkstra pass per
-      affected source (deletion) instead of a full rebuild + APSP, and
-    - every agent's cost is an O(n) fold over a live distance row.
+      affected source (deletion) instead of a full rebuild + APSP,
+    - every agent's cost is served from a per-agent cache invalidated
+      only when that agent's distance row or own strategy changed, and
+    - every mutation accumulates a change report (changed distance rows
+      plus modified strategy pairs) that dynamics and equilibrium
+      scanners drain to skip provably unaffected agents.
 
     The structure is single-owner and not thread-safe; the read-only
     accessors may be shared across domains between updates. *)
 
 type t
+
+(** What changed since the previous {!drain_changes}:
+    - [rows] — source rows of the distance matrix whose entries changed
+      (sound: possibly over-approximate, never missing a changed row);
+    - [pairs] — strategy pairs [(agent, target)] whose ownership entry
+      was modified by {!apply_move}, {e including} moves that left the
+      network itself untouched (co-owned buys/sells change purchase
+      costs and edge-survival behaviour at both endpoints);
+    - [full] — {!set_profile} re-pointed the state at an arbitrary
+      profile; consumers must treat every agent as dirty. *)
+type changes = {
+  rows : Gncg_graph.Changed_rows.t;
+  pairs : (int * int) list;
+  full : bool;
+}
 
 val create : Host.t -> Strategy.t -> t
 (** Builds the network of the profile and its full distance matrix:
@@ -30,13 +49,26 @@ val graph : t -> Gncg_graph.Wgraph.t
 val dist : t -> int -> int -> float
 
 val dist_row : t -> int -> float array
-(** Live row of the maintained matrix: read-only, invalidated by the next
-    update. *)
+(** Fresh copy of the agent's distance row (the backing store is flat
+    and unboxed). *)
+
+val dist_row_into : t -> int -> float array -> unit
+(** Allocation-free {!dist_row} into a caller buffer of length >= n. *)
 
 val agent_dist_sum : t -> int -> float
+(** Streaming sum of the agent's distance row — no row materialized. *)
+
+val dist_sum_with_edge : t -> int -> int -> float -> float
+(** [Σ_x min(d(u,x), w + d(v,x))] — see
+    {!Gncg_graph.Incr_apsp.dist_sum_with_edge}. *)
+
+val min_sum_against : t -> float array -> int -> float -> float
+(** See {!Gncg_graph.Incr_apsp.min_sum_against}. *)
 
 val agent_cost : t -> int -> float
-(** O(n): edge price plus the sum of the agent's live distance row. *)
+(** Edge price plus the agent's distance sum, served from the per-agent
+    cache (recomputed in O(n) only after the agent's row or strategy
+    changed). *)
 
 val social_cost : t -> float
 
@@ -50,15 +82,31 @@ val set_profile : t -> Strategy.t -> unit
 (** Re-points the state at an arbitrary profile of the same size by
     diffing the two networks edge by edge — incremental when the profiles
     are close, never worse than a rebuild by more than the diff size.
-    Used when a dynamics rule jumps to a multi-edge deviation. *)
+    Used when a dynamics rule jumps to a multi-edge deviation.  Marks the
+    pending change report as [full]. *)
+
+val drain_changes : t -> changes
+(** Returns everything accumulated since the previous drain and resets
+    the accumulator.  A fresh state drains empty. *)
+
+val has_pending_changes : t -> bool
 
 val sssp_edited :
   t -> ?remove:int * int -> ?add:int * int * float -> int -> float array
 (** What-if single-source distances on a hypothetical one-edge edit; see
     {!Gncg_graph.Incr_apsp.sssp_edited}. *)
 
+val sssp_edited_into :
+  t -> ?remove:int * int -> ?add:int * int * float -> int -> float array -> unit
+(** Allocation-free {!sssp_edited} into a caller buffer. *)
+
+val sssp_edited_sum : t -> ?remove:int * int -> ?add:int * int * float -> int -> float
+(** [Flt.sum] of the what-if row through the engine's scratch buffer —
+    zero allocation; the form the response engines use. *)
+
 val copy : t -> t
 
 val check_consistent : t -> bool
 (** Compares the maintained matrix against a from-scratch APSP of a
-    freshly built network (within [Flt.eps]) — test oracle. *)
+    freshly built network (within [Flt.eps]), and every valid cache entry
+    against a fresh evaluation — test oracle. *)

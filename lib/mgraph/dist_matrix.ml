@@ -1,13 +1,46 @@
-type t = { n : int; d : float array array }
+(* Flat row-major storage: one unboxed floatarray of length n² instead of
+   n boxed rows.  The O(n²) relaxation loops walk a single contiguous
+   buffer (no per-row indirection), and the row snapshots the insertion
+   update needs are preallocated workspaces blitted into place — an
+   [add_edge] allocates nothing. *)
+
+type t = {
+  n : int;
+  d : Float.Array.t;        (* n*n, index u*n+v *)
+  snap_u : Float.Array.t;   (* reusable row snapshots for add_edge *)
+  snap_v : Float.Array.t;
+}
+
+let alloc n =
+  {
+    n;
+    d = Float.Array.create (n * n);
+    snap_u = Float.Array.create n;
+    snap_v = Float.Array.create n;
+  }
 
 let of_matrix m =
   let n = Array.length m in
   Array.iter
     (fun row -> if Array.length row <> n then invalid_arg "Dist_matrix.of_matrix: non-square")
     m;
-  { n; d = Array.map Array.copy m }
+  let t = alloc n in
+  for u = 0 to n - 1 do
+    let row = m.(u) in
+    for v = 0 to n - 1 do
+      Float.Array.unsafe_set t.d ((u * n) + v) (Array.unsafe_get row v)
+    done
+  done;
+  t
 
-let of_graph g = { n = Wgraph.n g; d = Dijkstra.apsp g }
+let of_graph g =
+  let n = Wgraph.n g in
+  let t = alloc n in
+  let ws = Dijkstra.workspace n in
+  for u = 0 to n - 1 do
+    Dijkstra.sssp_flat_into ws g u t.d (u * n)
+  done;
+  t
 
 let size t = t.n
 
@@ -17,35 +50,54 @@ let check t u name =
 let distance t u v =
   check t u "distance";
   check t v "distance";
-  t.d.(u).(v)
+  Float.Array.get t.d ((u * t.n) + v)
 
 let total t =
-  let acc = ref 0.0 in
-  for x = 0 to t.n - 1 do
-    acc := !acc +. Gncg_util.Flt.sum t.d.(x)
+  (* Kahan over the whole flat buffer; any infinite entry (disconnected
+     pair) makes the total infinite without reaching the compensation. *)
+  let len = t.n * t.n in
+  let s = ref 0.0 and c = ref 0.0 in
+  let any_inf = ref false in
+  for i = 0 to len - 1 do
+    let x = Float.Array.unsafe_get t.d i in
+    if x = Float.infinity then any_inf := true
+    else begin
+      let y = x -. !c in
+      let tt = !s +. y in
+      c := tt -. !s -. y;
+      s := tt
+    end
   done;
-  !acc
+  if !any_inf then Float.infinity else !s
 
-let copy t = { n = t.n; d = Array.map Array.copy t.d }
-
-(* min over the three routings; written to avoid inf arithmetic pitfalls
-   (inf + finite = inf is fine; no inf - inf appears). *)
-let relaxed d x y du dv w =
-  let via_uv = du.(x) +. w +. dv.(y) in
-  let via_vu = dv.(x) +. w +. du.(y) in
-  Float.min d (Float.min via_uv via_vu)
+let copy t =
+  let t' = alloc t.n in
+  Float.Array.blit t.d 0 t'.d 0 (t.n * t.n);
+  t'
 
 let add_edge t u v w =
   check t u "add_edge";
   check t v "add_edge";
   if u = v then invalid_arg "Dist_matrix.add_edge: self-loop";
   if w < 0.0 || Float.is_nan w then invalid_arg "Dist_matrix.add_edge: negative weight";
-  if w < t.d.(u).(v) then begin
-    let du = Array.copy t.d.(u) and dv = Array.copy t.d.(v) in
-    for x = 0 to t.n - 1 do
-      let row = t.d.(x) in
-      for y = 0 to t.n - 1 do
-        row.(y) <- relaxed row.(y) x y du dv w
+  let n = t.n in
+  if w < Float.Array.get t.d ((u * n) + v) then begin
+    (* Rows u and v are read while every row (incl. themselves) is being
+       written: snapshot them into the reusable workspaces first. *)
+    let du = t.snap_u and dv = t.snap_v in
+    Float.Array.blit t.d (u * n) du 0 n;
+    Float.Array.blit t.d (v * n) dv 0 n;
+    for x = 0 to n - 1 do
+      let base = x * n in
+      let dxu = Float.Array.unsafe_get du x and dxv = Float.Array.unsafe_get dv x in
+      (* min over the three routings; written to avoid inf arithmetic
+         pitfalls (inf + finite = inf is fine; no inf - inf appears). *)
+      for y = 0 to n - 1 do
+        let via_uv = dxu +. w +. Float.Array.unsafe_get dv y in
+        let via_vu = dxv +. w +. Float.Array.unsafe_get du y in
+        let cur = Float.Array.unsafe_get t.d (base + y) in
+        let best = Float.min cur (Float.min via_uv via_vu) in
+        if best < cur then Float.Array.unsafe_set t.d (base + y) best
       done
     done
   end
@@ -58,19 +110,30 @@ let with_edge_added t u v w =
 let total_with_edge_added t u v w =
   check t u "total_with_edge_added";
   check t v "total_with_edge_added";
-  if w >= t.d.(u).(v) then total t
+  let n = t.n in
+  if w >= Float.Array.get t.d ((u * n) + v) then total t
   else begin
-    let du = t.d.(u) and dv = t.d.(v) in
-    let acc = ref 0.0 in
+    let ubase = u * n and vbase = v * n in
+    let s = ref 0.0 and c = ref 0.0 in
     let any_inf = ref false in
-    for x = 0 to t.n - 1 do
-      let row = t.d.(x) in
-      let row_sum = ref 0.0 in
-      for y = 0 to t.n - 1 do
-        let d = relaxed row.(y) x y du dv w in
-        if d = Float.infinity then any_inf := true else row_sum := !row_sum +. d
-      done;
-      acc := !acc +. !row_sum
+    for x = 0 to n - 1 do
+      let base = x * n in
+      let dxu = Float.Array.unsafe_get t.d (ubase + x)
+      and dxv = Float.Array.unsafe_get t.d (vbase + x) in
+      for y = 0 to n - 1 do
+        let via_uv = dxu +. w +. Float.Array.unsafe_get t.d (vbase + y) in
+        let via_vu = dxv +. w +. Float.Array.unsafe_get t.d (ubase + y) in
+        let d =
+          Float.min (Float.Array.unsafe_get t.d (base + y)) (Float.min via_uv via_vu)
+        in
+        if d = Float.infinity then any_inf := true
+        else begin
+          let y' = d -. !c in
+          let tt = !s +. y' in
+          c := tt -. !s -. y';
+          s := tt
+        end
+      done
     done;
-    if !any_inf then Float.infinity else !acc
+    if !any_inf then Float.infinity else !s
   end

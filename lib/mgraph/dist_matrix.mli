@@ -5,7 +5,12 @@
     additions per step; re-running all-pairs Dijkstra for each is wasteful
     when the insertion update
     [d'(x,y) = min(d(x,y), d(x,u)+w+d(v,y), d(x,v)+w+d(u,y))]
-    is exact.  (Deletions can only be handled by recomputation.) *)
+    is exact.  (Deletions can only be handled by recomputation.)
+
+    Storage is one flat row-major unboxed [floatarray] of length n² —
+    the relaxation loops stream a single contiguous buffer, and the row
+    snapshots an update needs are preallocated workspaces, so
+    [add_edge] and [total_with_edge_added] allocate nothing. *)
 
 type t
 

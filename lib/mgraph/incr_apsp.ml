@@ -1,58 +1,175 @@
+(* Flat row-major floatarray backing (index u*n+v), preallocated
+   snapshot/scratch workspaces, and explicit change tracking: every
+   update reports the set of source rows whose distances changed, so the
+   layers above can invalidate per-agent state selectively. *)
+
 type t = {
   g : Wgraph.t;
-  d : float array array;
+  n : int;
+  d : Float.Array.t;          (* n*n distances *)
+  snap_u : Float.Array.t;     (* row snapshots for the insertion update *)
+  snap_v : Float.Array.t;
+  scratch : float array;      (* reusable row for what-if / recompute passes *)
+  ws : Dijkstra.workspace;    (* reusable Dijkstra heap *)
   mutable last_recomputed : int;
 }
 
-let of_graph_no_copy g = { g; d = Dijkstra.apsp g; last_recomputed = 0 }
+let of_graph_no_copy g =
+  let n = Wgraph.n g in
+  let t =
+    {
+      g;
+      n;
+      d = Float.Array.create (n * n);
+      snap_u = Float.Array.create n;
+      snap_v = Float.Array.create n;
+      scratch = Array.make n Float.infinity;
+      ws = Dijkstra.workspace n;
+      last_recomputed = 0;
+    }
+  in
+  for s = 0 to n - 1 do
+    Dijkstra.sssp_flat_into t.ws g s t.d (s * n)
+  done;
+  t
 
 let of_graph g = of_graph_no_copy (Wgraph.copy g)
 
 let graph t = t.g
 
-let n t = Wgraph.n t.g
+let n t = t.n
 
 let check t u name =
-  if u < 0 || u >= n t then
+  if u < 0 || u >= t.n then
     invalid_arg (Printf.sprintf "Incr_apsp.%s: vertex %d out of range" name u)
 
 let distance t u v =
   check t u "distance";
   check t v "distance";
-  t.d.(u).(v)
+  Float.Array.get t.d ((u * t.n) + v)
 
 let row t u =
   check t u "row";
-  t.d.(u)
+  let n = t.n in
+  Array.init n (fun v -> Float.Array.unsafe_get t.d ((u * n) + v))
 
-let matrix t = t.d
+let row_into t u dst =
+  check t u "row_into";
+  if Array.length dst < t.n then invalid_arg "Incr_apsp.row_into: row too short";
+  let base = u * t.n in
+  for v = 0 to t.n - 1 do
+    Array.unsafe_set dst v (Float.Array.unsafe_get t.d (base + v))
+  done
+
+let matrix t = Array.init t.n (fun u -> row t u)
+
+(* --- streaming row kernels (allocation-free, Kahan, inf-propagating) --- *)
+
+let dist_sum t u =
+  check t u "dist_sum";
+  let base = u * t.n in
+  let s = ref 0.0 and c = ref 0.0 in
+  let any_inf = ref false in
+  for x = 0 to t.n - 1 do
+    let d = Float.Array.unsafe_get t.d (base + x) in
+    if d = Float.infinity then any_inf := true
+    else begin
+      let y = d -. !c in
+      let tt = !s +. y in
+      c := tt -. !s -. y;
+      s := tt
+    end
+  done;
+  if !any_inf then Float.infinity else !s
+
+let dist_sum_with_edge t u v w =
+  check t u "dist_sum_with_edge";
+  check t v "dist_sum_with_edge";
+  (* Σ_x min(d(u,x), w + d(v,x)) — the mover's distance sum after buying
+     edge (u,v): any shortest path through the new edge starts with it. *)
+  let ubase = u * t.n and vbase = v * t.n in
+  let s = ref 0.0 and c = ref 0.0 in
+  let any_inf = ref false in
+  for x = 0 to t.n - 1 do
+    let m =
+      Float.min
+        (Float.Array.unsafe_get t.d (ubase + x))
+        (w +. Float.Array.unsafe_get t.d (vbase + x))
+    in
+    if m = Float.infinity then any_inf := true
+    else begin
+      let y = m -. !c in
+      let tt = !s +. y in
+      c := tt -. !s -. y;
+      s := tt
+    end
+  done;
+  if !any_inf then Float.infinity else !s
+
+let min_sum_against t r v w =
+  check t v "min_sum_against";
+  if Array.length r < t.n then invalid_arg "Incr_apsp.min_sum_against: row too short";
+  (* Σ_x min(r.(x), w + d(v,x)) — insertion relaxation of a caller-held
+     row (e.g. a deletion what-if) against a live matrix row. *)
+  let vbase = v * t.n in
+  let s = ref 0.0 and c = ref 0.0 in
+  let any_inf = ref false in
+  for x = 0 to t.n - 1 do
+    let m =
+      Float.min (Array.unsafe_get r x) (w +. Float.Array.unsafe_get t.d (vbase + x))
+    in
+    if m = Float.infinity then any_inf := true
+    else begin
+      let y = m -. !c in
+      let tt = !s +. y in
+      c := tt -. !s -. y;
+      s := tt
+    end
+  done;
+  if !any_inf then Float.infinity else !s
+
+(* --- updates --- *)
 
 let add_edge t u v w =
   check t u "add_edge";
   check t v "add_edge";
   if Wgraph.has_edge t.g u v then invalid_arg "Incr_apsp.add_edge: edge already present";
   Wgraph.add_edge t.g u v w;
-  if w < t.d.(u).(v) then begin
+  let n = t.n in
+  let changed = Changed_rows.create n in
+  if w < Float.Array.get t.d ((u * n) + v) then begin
     (* Rows u and v are read while every row (incl. themselves) is being
-       written: snapshot them first. *)
-    let du = Array.copy t.d.(u) and dv = Array.copy t.d.(v) in
-    let size = n t in
-    for x = 0 to size - 1 do
-      let row = t.d.(x) in
-      let dxu = du.(x) and dxv = dv.(x) in
-      for y = 0 to size - 1 do
-        let via_uv = dxu +. w +. dv.(y) in
-        let via_vu = dxv +. w +. du.(y) in
-        let best = Float.min row.(y) (Float.min via_uv via_vu) in
-        row.(y) <- best
-      done
+       written: snapshot them into the preallocated workspaces first.  A
+       row is reported as changed exactly when some entry strictly
+       decreased. *)
+    let du = t.snap_u and dv = t.snap_v in
+    Float.Array.blit t.d (u * n) du 0 n;
+    Float.Array.blit t.d (v * n) dv 0 n;
+    for x = 0 to n - 1 do
+      let base = x * n in
+      let dxu = Float.Array.unsafe_get du x and dxv = Float.Array.unsafe_get dv x in
+      let touched = ref false in
+      for y = 0 to n - 1 do
+        let via_uv = dxu +. w +. Float.Array.unsafe_get dv y in
+        let via_vu = dxv +. w +. Float.Array.unsafe_get du y in
+        let cur = Float.Array.unsafe_get t.d (base + y) in
+        let best = Float.min cur (Float.min via_uv via_vu) in
+        if best < cur then begin
+          Float.Array.unsafe_set t.d (base + y) best;
+          touched := true
+        end
+      done;
+      if !touched then Changed_rows.add changed x
     done
-  end
+  end;
+  changed
 
 let remove_edge t u v =
   check t u "remove_edge";
   check t v "remove_edge";
-  match Wgraph.weight t.g u v with
+  let n = t.n in
+  let changed = Changed_rows.create n in
+  (match Wgraph.weight t.g u v with
   | None -> t.last_recomputed <- 0
   | Some w ->
     Wgraph.remove_edge t.g u v;
@@ -62,25 +179,41 @@ let remove_edge t u v =
        produced by earlier incremental insertions associate their sums
        differently than Dijkstra would, so a genuinely used edge can be
        off by ulps.  The tolerance only over-approximates the affected
-       set (extra recomputes), never misses a used edge. *)
-    let size = n t in
+       set (extra recomputes), never misses a used edge.  Each affected
+       row is recomputed into the preallocated scratch with the reusable
+       Dijkstra workspace (no fresh heap, no fresh rows) and written back
+       only where it differs, so the change report is exact on the
+       recomputed set. *)
     let recomputed = ref 0 in
-    for s = 0 to size - 1 do
-      let dsu = t.d.(s).(u) and dsv = t.d.(s).(v) in
+    for s = 0 to n - 1 do
+      let base = s * n in
+      let dsu = Float.Array.unsafe_get t.d (base + u)
+      and dsv = Float.Array.unsafe_get t.d (base + v) in
       if
         Gncg_util.Flt.approx_eq (dsu +. w) dsv
         || Gncg_util.Flt.approx_eq (dsv +. w) dsu
       then begin
-        t.d.(s) <- Dijkstra.sssp t.g s;
+        Dijkstra.sssp_into t.ws t.g s t.scratch;
+        let differs = ref false in
+        for x = 0 to n - 1 do
+          let fresh = Array.unsafe_get t.scratch x in
+          if fresh <> Float.Array.unsafe_get t.d (base + x) then begin
+            Float.Array.unsafe_set t.d (base + x) fresh;
+            differs := true
+          end
+        done;
+        if !differs then Changed_rows.add changed s;
         incr recomputed
       end
     done;
-    t.last_recomputed <- !recomputed
+    t.last_recomputed <- !recomputed);
+  changed
 
 let last_deletion_recomputed t = t.last_recomputed
 
-let sssp_edited t ?remove ?add source =
-  check t source "sssp_edited";
+(* --- what-if evaluation --- *)
+
+let with_edits t ?remove ?add f =
   let removed =
     match remove with
     | None -> None
@@ -99,14 +232,44 @@ let sssp_edited t ?remove ?add source =
       Some (u, v)
     | Some _ -> None
   in
-  let dist = Dijkstra.sssp t.g source in
+  let r = f () in
   (match added with None -> () | Some (u, v) -> Wgraph.remove_edge t.g u v);
   (match removed with None -> () | Some (u, v, w) -> Wgraph.add_edge t.g u v w);
-  dist
+  r
+
+let sssp_edited_into t ?remove ?add source dst =
+  check t source "sssp_edited_into";
+  with_edits t ?remove ?add (fun () -> Dijkstra.sssp_into t.ws t.g source dst)
+
+let sssp_edited t ?remove ?add source =
+  check t source "sssp_edited";
+  let dst = Array.make t.n Float.infinity in
+  sssp_edited_into t ?remove ?add source dst;
+  dst
+
+let sssp_edited_sum t ?remove ?add source =
+  check t source "sssp_edited_sum";
+  with_edits t ?remove ?add (fun () ->
+      Dijkstra.sssp_into t.ws t.g source t.scratch;
+      Gncg_util.Flt.sum t.scratch)
 
 let copy t =
-  { g = Wgraph.copy t.g; d = Array.map Array.copy t.d; last_recomputed = t.last_recomputed }
+  let t' =
+    {
+      g = Wgraph.copy t.g;
+      n = t.n;
+      d = Float.Array.create (t.n * t.n);
+      snap_u = Float.Array.create t.n;
+      snap_v = Float.Array.create t.n;
+      scratch = Array.make t.n Float.infinity;
+      ws = Dijkstra.workspace t.n;
+      last_recomputed = t.last_recomputed;
+    }
+  in
+  Float.Array.blit t.d 0 t'.d 0 (t.n * t.n);
+  t'
 
 let rebuild t =
-  let fresh = Dijkstra.apsp t.g in
-  Array.blit fresh 0 t.d 0 (Array.length fresh)
+  for s = 0 to t.n - 1 do
+    Dijkstra.sssp_flat_into t.ws t.g s t.d (s * t.n)
+  done

@@ -13,8 +13,15 @@
     - {e deletion} recomputes only the {e affected sources}: a source [s]
       whose shortest paths may use [(u,v)] must have the edge tight, i.e.
       [d(s,u) + w = d(s,v)] or [d(s,v) + w = d(s,u)].  Rows of unaffected
-      sources are provably unchanged; each affected row costs one
-      Dijkstra pass.
+      sources are provably unchanged; each affected row costs one pass of
+      the reusable Dijkstra workspace.
+
+    Storage is one flat row-major unboxed [floatarray] of length n²
+    (index [u*n + v]): the relaxation kernels stream a single contiguous
+    buffer, the row snapshots and what-if rows are preallocated
+    workspaces, and both updates report a {!Changed_rows.t} of the source
+    rows they actually modified, so callers can invalidate per-agent
+    caches selectively.
 
     The wrapped graph is owned by this structure: mutate it only through
     {!add_edge} / {!remove_edge}, never directly.  Not thread-safe; the
@@ -37,20 +44,45 @@ val n : t -> int
 val distance : t -> int -> int -> float
 
 val row : t -> int -> float array
-(** The live distance row of a source — {b not} a copy; treat it as
-    read-only and invalidated by the next update. *)
+(** A fresh copy of a source's distance row (the backing store is flat
+    and unboxed; there is no live [float array] to alias). *)
+
+val row_into : t -> int -> float array -> unit
+(** Copies a source's distance row into a caller-provided buffer of
+    length >= n — the allocation-free form of {!row}. *)
 
 val matrix : t -> float array array
-(** The live matrix (same aliasing caveat as {!row}). *)
+(** A fresh boxed copy of the whole matrix (test/oracle convenience). *)
 
-val add_edge : t -> int -> int -> float -> unit
-(** Inserts the edge into the graph and updates all rows in O(n²).
-    Raises like {!Wgraph.add_edge} on invalid arguments; the edge must
-    not already be present. *)
+val dist_sum : t -> int -> float
+(** Kahan-compensated sum of a source's row, infinite when the source is
+    disconnected from anyone — one allocation-free pass over the flat
+    storage. *)
 
-val remove_edge : t -> int -> int -> unit
+val dist_sum_with_edge : t -> int -> int -> float -> float
+(** [dist_sum_with_edge t u v w] is [Σ_x min(d(u,x), w + d(v,x))] — the
+    mover's distance sum after buying edge [(u,v)] (every shortest path
+    through a new incident edge starts with it).  Streaming, Kahan,
+    infinity-propagating; the what-if {e addition} kernel of the
+    response engines. *)
+
+val min_sum_against : t -> float array -> int -> float -> float
+(** [min_sum_against t r v w] is [Σ_x min(r.(x), w + d(v,x))]: the same
+    insertion relaxation applied to a caller-held row [r] (typically a
+    deletion what-if), used as an exact lower bound on swap what-ifs. *)
+
+val add_edge : t -> int -> int -> float -> Changed_rows.t
+(** Inserts the edge into the graph and updates all rows in O(n²) without
+    allocating (beyond the returned report).  Returns exactly the rows
+    with at least one strictly decreased entry.  Raises like
+    {!Wgraph.add_edge} on invalid arguments; the edge must not already be
+    present. *)
+
+val remove_edge : t -> int -> int -> Changed_rows.t
 (** Removes the edge (no-op when absent) and recomputes the rows of
-    affected sources only. *)
+    affected sources only, through the preallocated Dijkstra workspace
+    and scratch row.  Returns exactly the recomputed rows that differ
+    from their previous contents. *)
 
 val last_deletion_recomputed : t -> int
 (** Number of source rows the most recent {!remove_edge} recomputed —
@@ -63,8 +95,17 @@ val sssp_edited : t -> ?remove:int * int -> ?add:int * int * float -> int -> flo
     removals and already-present additions are ignored.  The what-if
     primitive of single-move evaluation; not thread-safe. *)
 
+val sssp_edited_into :
+  t -> ?remove:int * int -> ?add:int * int * float -> int -> float array -> unit
+(** {!sssp_edited} into a caller-provided row — no allocation. *)
+
+val sssp_edited_sum : t -> ?remove:int * int -> ?add:int * int * float -> int -> float
+(** [Flt.sum] of the {!sssp_edited} row computed through the internal
+    scratch row — the allocation-free form the response engines use when
+    only the distance sum matters. *)
+
 val copy : t -> t
 
 val rebuild : t -> unit
-(** Recomputes the whole matrix from the graph (an oracle/repair hook;
-    normal use never needs it). *)
+(** Recomputes the whole matrix from the graph through the reusable
+    workspace (an oracle/repair hook; normal use never needs it). *)

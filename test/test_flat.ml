@@ -1,0 +1,268 @@
+(* Properties of the flat distance storage, the streaming kernels, the
+   Changed_rows reports, and the dirty-agent skipping built on them.
+   Change reports are compared bitwise against before/after matrix
+   diffs: the report must name exactly the rows that differ. *)
+
+module Prng = Gncg_util.Prng
+module Flt = Gncg_util.Flt
+module Wgraph = Gncg_graph.Wgraph
+module Dijkstra = Gncg_graph.Dijkstra
+module Dist_matrix = Gncg_graph.Dist_matrix
+module Incr_apsp = Gncg_graph.Incr_apsp
+module Changed_rows = Gncg_graph.Changed_rows
+module Strategy = Gncg.Strategy
+module Metric = Gncg_metric.Metric
+
+let seed_gen = QCheck.small_nat
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let random_connected_graph r n =
+  let g = Wgraph.create n in
+  let order = Prng.permutation r n in
+  for i = 1 to n - 1 do
+    Wgraph.add_edge g order.(i) order.(Prng.int r i) (Prng.float_in r 0.5 9.0)
+  done;
+  for _ = 1 to n do
+    let u = Prng.int r n and v = Prng.int r n in
+    if u <> v && not (Wgraph.has_edge g u v) then
+      Wgraph.add_edge g u v (Prng.float_in r 0.5 9.0)
+  done;
+  g
+
+(* --- flat Dist_matrix vs reference --- *)
+
+let prop_dist_matrix_matches_reference seed =
+  let r = Prng.create (seed + 301) in
+  let n = 4 + Prng.int r 8 in
+  let g = random_connected_graph r n in
+  let m = Dist_matrix.of_graph g in
+  let ok = ref true in
+  for _ = 1 to 6 do
+    let u = Prng.int r n and v = Prng.int r n in
+    if u <> v && not (Wgraph.has_edge g u v) then begin
+      let w = Prng.float_in r 0.5 9.0 in
+      Wgraph.add_edge g u v w;
+      Dist_matrix.add_edge m u v w
+    end
+  done;
+  let reference = Dijkstra.apsp g in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if not (Flt.approx_eq ~tol:1e-6 (Dist_matrix.distance m u v) reference.(u).(v)) then
+        ok := false
+    done
+  done;
+  !ok
+
+(* --- Changed_rows reports are exact (= the bitwise row diff) --- *)
+
+let changed_report_is_exact before after report =
+  let n = Array.length before in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    let differs = before.(u) <> after.(u) in
+    if differs <> Changed_rows.mem report u then ok := false
+  done;
+  !ok
+
+let prop_changed_rows_exact seed =
+  let r = Prng.create (seed + 302) in
+  let n = 4 + Prng.int r 9 in
+  let incr = Incr_apsp.of_graph (random_connected_graph r n) in
+  let g = Incr_apsp.graph incr in
+  let ok = ref true in
+  for _ = 1 to 10 do
+    let u = Prng.int r n and v = Prng.int r n in
+    if u <> v then begin
+      let before = Incr_apsp.matrix incr in
+      let report =
+        if Wgraph.has_edge g u v then begin
+          let rep = Incr_apsp.remove_edge incr u v in
+          if Incr_apsp.last_deletion_recomputed incr > n then ok := false;
+          rep
+        end
+        else Incr_apsp.add_edge incr u v (Prng.float_in r 0.5 9.0)
+      in
+      if not (changed_report_is_exact before (Incr_apsp.matrix incr) report) then
+        ok := false
+    end
+  done;
+  !ok
+
+(* --- streaming min-sum kernel vs the materialized reference --- *)
+
+let prop_sum_min_add_matches_naive seed =
+  let r = Prng.create (seed + 303) in
+  let n = 1 + Prng.int r 40 in
+  let gen_row () =
+    Array.init n (fun _ ->
+        if Prng.int r 8 = 0 then Float.infinity else Prng.float_in r 0.0 50.0)
+  in
+  let a = gen_row () and b = gen_row () in
+  let w = Prng.float_in r 0.0 10.0 in
+  let naive = Flt.sum (Array.init n (fun i -> Float.min a.(i) (w +. b.(i)))) in
+  let streamed = Flt.sum_min_add a w b in
+  if naive = Float.infinity || streamed = Float.infinity then naive = streamed
+  else Flt.approx_eq ~tol:1e-9 naive streamed
+
+let prop_dist_sum_with_edge_matches seed =
+  let r = Prng.create (seed + 304) in
+  let n = 4 + Prng.int r 8 in
+  let incr = Incr_apsp.of_graph (random_connected_graph r n) in
+  let u = Prng.int r n and v = Prng.int r n in
+  let w = Prng.float_in r 0.5 9.0 in
+  if u = v then true
+  else
+    Flt.approx_eq ~tol:1e-9
+      (Incr_apsp.dist_sum_with_edge incr u v w)
+      (Flt.sum_min_add (Incr_apsp.row incr u) w (Incr_apsp.row incr v))
+
+(* --- infinity propagation through the fused total --- *)
+
+let test_total_with_edge_added_infinity () =
+  let g = Wgraph.create 4 in
+  Wgraph.add_edge g 0 1 1.0;
+  Wgraph.add_edge g 2 3 1.0;
+  let m = Dist_matrix.of_graph g in
+  Alcotest.(check bool) "disconnected total" true (Dist_matrix.total m = Float.infinity);
+  (* Bridging the components makes every pair finite; the fused total
+     must agree with the materialized update. *)
+  let fused = Dist_matrix.total_with_edge_added m 1 2 2.0 in
+  let materialized = Dist_matrix.total (Dist_matrix.with_edge_added m 1 2 2.0) in
+  Alcotest.(check bool) "bridged total finite" true (Float.is_finite fused);
+  Alcotest.(check (float 1e-9)) "fused = materialized" materialized fused;
+  (* A useless edge leaves the total infinite. *)
+  Alcotest.(check bool)
+    "parallel edge keeps inf" true
+    (Dist_matrix.total_with_edge_added m 0 1 5.0 = Float.infinity)
+
+(* --- the deterministic star instance for the skipping guarantees ---
+
+   Host: star pairs (0,i) of weight 1, one leaf pair (1,2) of weight 1.5,
+   every other pair infinite; alpha = 0.1; profile = center 0 owns the
+   star.  Buying (1,2) is the only improving add (gain 0.35 for either
+   endpoint); it changes the distance rows of 1 and 2 only, so agents
+   3..5 and the center are provably unaffected. *)
+
+let star_instance () =
+  let n = 6 in
+  let w u v =
+    if u = 0 || v = 0 then 1.0
+    else if (u, v) = (1, 2) || (v, u) = (1, 2) then 1.5
+    else Float.infinity
+  in
+  let host = Gncg.Host.make ~alpha:0.1 (Metric.make n w) in
+  let s = Strategy.of_lists n [ (0, [ 1; 2; 3; 4; 5 ]) ] in
+  (host, s)
+
+let test_tracker_partial_refresh () =
+  let host, s = star_instance () in
+  let st = Gncg.Net_state.create host s in
+  let tr = Gncg.Equilibrium.Tracker.create Gncg.Equilibrium.AE st in
+  Alcotest.(check (list int)) "initial unhappy" [ 1; 2 ] (Gncg.Equilibrium.Tracker.unhappy tr);
+  ignore (Gncg.Net_state.apply_move st ~agent:1 (Gncg.Move.Add 2));
+  Gncg.Equilibrium.Tracker.refresh tr;
+  let reevaluated = Gncg.Equilibrium.Tracker.last_reevaluated tr in
+  (* Strictly fewer than n agents re-examined after one local move... *)
+  Alcotest.(check bool) "refresh < n" true (reevaluated < Strategy.n s);
+  Alcotest.(check int) "exactly the dirty agents" 2 reevaluated;
+  (* ...and the cached verdicts are byte-identical to a full rescan. *)
+  let fresh =
+    Gncg.Equilibrium.Tracker.create Gncg.Equilibrium.AE (Gncg.Net_state.copy st)
+  in
+  Alcotest.(check (list int))
+    "refresh = full rescan"
+    (Gncg.Equilibrium.Tracker.unhappy fresh)
+    (Gncg.Equilibrium.Tracker.unhappy tr);
+  Alcotest.(check (list int))
+    "tracker = reference scan"
+    (Gncg.Equilibrium.unhappy_agents Gncg.Equilibrium.AE host (Gncg.Net_state.profile st))
+    (Gncg.Equilibrium.Tracker.unhappy tr);
+  Alcotest.(check bool) "now an AE" true (Gncg.Equilibrium.Tracker.is_equilibrium tr)
+
+let test_dynamics_skips_clean_agents () =
+  let host, s = star_instance () in
+  let metrics = Gncg.Dynamics.fresh_metrics () in
+  let outcome =
+    Gncg.Dynamics.run ~evaluator:`Incremental ~metrics ~rule:Gncg.Dynamics.Add_only
+      ~scheduler:Gncg.Dynamics.Round_robin host s
+  in
+  let reference =
+    Gncg.Dynamics.run ~evaluator:`Reference ~rule:Gncg.Dynamics.Add_only
+      ~scheduler:Gncg.Dynamics.Round_robin host s
+  in
+  match (outcome, reference) with
+  | Gncg.Dynamics.Converged { profile; _ }, Gncg.Dynamics.Converged { profile = ref_p; _ } ->
+    Alcotest.(check bool) "same limit as reference" true (Strategy.equal profile ref_p);
+    (* The center was idle before the accepted move and provably clean
+       after it: preserved, not re-evaluated. *)
+    Alcotest.(check int) "one agent skipped" 1 metrics.Gncg.Dynamics.skips;
+    Alcotest.(check int) "one move" 1 metrics.Gncg.Dynamics.moves;
+    (* n + 1 evaluations total (everyone once, the mover re-checked)
+       despite the mid-pass move — a full-rescan engine would pay for
+       the pre-move evaluations again. *)
+    Alcotest.(check int) "n+1 evaluations" 7 metrics.Gncg.Dynamics.evaluations
+  | _ -> Alcotest.fail "star dynamics did not converge"
+
+(* --- tracker refresh = full rescan on random games --- *)
+
+let random_game seed ~n =
+  let r = Prng.create seed in
+  let alpha = 0.5 +. Prng.float r 3.0 in
+  let model = List.nth Gncg_workload.Instances.default_models (Prng.int r 4) in
+  let host = Gncg_workload.Instances.random_host r model ~n ~alpha in
+  let s = Gncg_workload.Instances.random_profile r host in
+  (r, host, s)
+
+let prop_tracker_refresh_byte_identical seed =
+  let r, host, s = random_game (seed + 305) ~n:7 in
+  let st = Gncg.Net_state.create host s in
+  let kind = if Prng.int r 2 = 0 then Gncg.Equilibrium.GE else Gncg.Equilibrium.AE in
+  let tr = Gncg.Equilibrium.Tracker.create kind st in
+  let ok = ref true in
+  for _ = 1 to 5 do
+    let u = Prng.int r 7 in
+    (match Gncg.Move.candidates host (Gncg.Net_state.profile st) ~agent:u with
+    | [] -> ()
+    | cands -> ignore (Gncg.Net_state.apply_move st ~agent:u (List.nth cands (Prng.int r (List.length cands)))));
+    Gncg.Equilibrium.Tracker.refresh tr;
+    let fresh = Gncg.Equilibrium.Tracker.create kind (Gncg.Net_state.copy st) in
+    if Gncg.Equilibrium.Tracker.unhappy tr <> Gncg.Equilibrium.Tracker.unhappy fresh then
+      ok := false
+  done;
+  !ok
+
+(* Incremental Add_only dynamics with dirty-skipping still land on an
+   add-stable profile (a wrongly preserved idle verdict would let the
+   run converge to a non-AE). *)
+let prop_incremental_add_only_reaches_ae seed =
+  let _, host, s = random_game (seed + 306) ~n:8 in
+  let metrics = Gncg.Dynamics.fresh_metrics () in
+  match
+    Gncg.Dynamics.run ~max_steps:4000 ~evaluator:`Incremental ~metrics
+      ~rule:Gncg.Dynamics.Add_only ~scheduler:Gncg.Dynamics.Round_robin host s
+  with
+  | Gncg.Dynamics.Converged { profile; _ } ->
+    metrics.Gncg.Dynamics.evaluations > 0 && Gncg.Equilibrium.is_ae host profile
+  | _ -> false
+
+let suites =
+  [
+    ( "flat-distance-engine",
+      [
+        qtest ~count:25 "flat Dist_matrix = reference" seed_gen
+          prop_dist_matrix_matches_reference;
+        qtest ~count:25 "change reports are exact" seed_gen prop_changed_rows_exact;
+        qtest ~count:50 "sum_min_add = naive" seed_gen prop_sum_min_add_matches_naive;
+        qtest ~count:25 "dist_sum_with_edge kernel" seed_gen prop_dist_sum_with_edge_matches;
+        Alcotest.test_case "fused total: infinity" `Quick test_total_with_edge_added_infinity;
+        Alcotest.test_case "tracker: partial refresh" `Quick test_tracker_partial_refresh;
+        Alcotest.test_case "dynamics: clean agents skipped" `Quick
+          test_dynamics_skips_clean_agents;
+        qtest ~count:20 "tracker refresh = rescan" seed_gen prop_tracker_refresh_byte_identical;
+        qtest ~count:15 "add-only dynamics reach AE" seed_gen
+          prop_incremental_add_only_reaches_ae;
+      ] );
+  ]
