@@ -6,8 +6,10 @@
      dune exec bench/main.exe -- E4 E8        # selected experiments
      dune exec bench/main.exe -- --no-timings # experiments only
      dune exec bench/main.exe -- --timings    # timings only
-     dune exec bench/main.exe -- --json PATH  # BENCH_3.json only (see bench3.ml)
-     dune exec bench/main.exe -- --domains 4  # worker domains for _parallel paths *)
+     dune exec bench/main.exe -- --json PATH  # BENCH_4.json only (see bench4.ml)
+     dune exec bench/main.exe -- --domains 4  # worker domains for the Par paths
+     dune exec bench/main.exe -- --trace FILE # JSONL observability trace
+     dune exec bench/main.exe -- --profile    # counter summary on stderr at exit *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -18,6 +20,26 @@ let () =
       | [] -> (List.rev acc, None)
     in
     strip_json [] args
+  in
+  let args, trace_path =
+    let rec strip_trace acc = function
+      | "--trace" :: path :: rest -> (List.rev_append acc rest, Some path)
+      | a :: rest -> strip_trace (a :: acc) rest
+      | [] -> (List.rev acc, None)
+    in
+    strip_trace [] args
+  in
+  (match trace_path with Some path -> Gncg_obs.Obs.trace_to_file path | None -> ());
+  let args =
+    let rec strip_profile = function
+      | "--profile" :: rest ->
+        Gncg_obs.Obs.set_profiling true;
+        at_exit (fun () -> Gncg_obs.Obs.print_summary stderr);
+        strip_profile rest
+      | a :: rest -> a :: strip_profile rest
+      | [] -> []
+    in
+    strip_profile args
   in
   let args =
     let rec strip_domains = function
@@ -41,7 +63,7 @@ let () =
     else List.filter (fun (id, _) -> List.mem id selected) Experiments.all
   in
   match json_path with
-  | Some path -> Bench3.run ~path
+  | Some path -> Bench4.run ~path
   | None ->
     print_endline "Geometric Network Creation Games — reproduction harness";
     print_endline "(paper: Bilo, Friedrich, Lenzner, Melnichenko, SPAA 2019)";

@@ -10,10 +10,12 @@ let time f =
 
 let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("bench-smoke: " ^ msg); exit 1) fmt
 
-(* Schema check for the BENCH_3.json artifact emitted by
-   `bench/main.exe --json` (see bench3.ml): every result row must carry
+(* Schema check for the BENCH_N.json artifacts emitted by
+   `bench/main.exe --json` (see bench4.ml): every result row must carry
    op / n / ns_per_op / allocs_per_op with sane values, and the macro
-   baseline + speedup fields must be present. *)
+   baseline + speedup fields must be present.  Accepts gncg-bench-3
+   (the committed PR-3 artifact) and gncg-bench-4, which additionally
+   requires a counters object covering all four instrumented layers. *)
 let validate_bench_json path =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> fail "%s: %s" path e in
   let text =
@@ -26,7 +28,24 @@ let validate_bench_json path =
   let module J = Gncg_runs.Json in
   let* doc = J.parse (String.trim text) in
   let* schema = Result.bind (J.member "schema" doc) J.get_string in
-  if schema <> "gncg-bench-3" then fail "%s: unexpected schema %S" path schema;
+  if schema <> "gncg-bench-3" && schema <> "gncg-bench-4" then
+    fail "%s: unexpected schema %S" path schema;
+  if schema = "gncg-bench-4" then begin
+    (* The instrumented pass must have ticked at least one probe in each
+       of the four engine layers (distance core, net state, dynamics,
+       runs scheduler). *)
+    let* counters = J.member "counters" doc in
+    let keys =
+      match counters with
+      | J.Obj fields -> List.map fst fields
+      | _ -> fail "%s: counters must be an object" path
+    in
+    List.iter
+      (fun prefix ->
+        if not (List.exists (fun k -> String.starts_with ~prefix k) keys) then
+          fail "%s: counters missing the %s* layer" path prefix)
+      [ "incr_apsp."; "net_state."; "dynamics."; "runs." ]
+  end;
   let* baseline = J.member "baseline" doc in
   let* base_ns = Result.bind (J.member "ns_per_op" baseline) J.get_float in
   if not (base_ns > 0.0) then fail "%s: baseline ns_per_op must be positive" path;
@@ -92,7 +111,7 @@ let () =
   Printf.printf "dynamics n=%d: reference %.3f s, incremental %.3f s (%.1fx)\n%!" n t_ref
     t_inc (t_ref /. t_inc);
   let seq, t_seq = time (fun () -> Gncg.Equilibrium.is_ge host p_inc) in
-  let par, t_par = time (fun () -> Gncg.Equilibrium.is_ge_parallel host p_inc) in
+  let par, t_par = time (fun () -> Gncg.Equilibrium.is_ge ~exec:Gncg_util.Exec.default host p_inc) in
   if seq <> par then fail "sequential/parallel is_ge disagree";
   Printf.printf "is_ge n=%d: sequential %.3f s, parallel %.3f s (%.1fx, %d domains)\n%!" n
     t_seq t_par (t_seq /. t_par)

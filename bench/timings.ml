@@ -93,11 +93,11 @@ let prepared () =
     Test.make ~name:"ablation/apsp sequential (n=30)" (Staged.stage (fun () ->
         ignore (Gncg_graph.Dijkstra.apsp graph30)));
     Test.make ~name:"ablation/apsp parallel (n=30)" (Staged.stage (fun () ->
-        ignore (Gncg_graph.Dijkstra.apsp_parallel graph30)));
+        ignore (Gncg_graph.Dijkstra.apsp ~exec:Gncg_util.Exec.default graph30)));
     Test.make ~name:"ablation/apsp sequential (n=200)" (Staged.stage (fun () ->
         ignore (Gncg_graph.Dijkstra.apsp graph200)));
     Test.make ~name:"ablation/apsp parallel (n=200)" (Staged.stage (fun () ->
-        ignore (Gncg_graph.Dijkstra.apsp_parallel graph200)));
+        ignore (Gncg_graph.Dijkstra.apsp ~exec:Gncg_util.Exec.default graph200)));
     (* Substrate: centrality and the dynamic distance matrix. *)
     Test.make ~name:"substrate/betweenness (n=30)" (Staged.stage (fun () ->
         ignore (Gncg_graph.Betweenness.edge graph30)));
@@ -126,11 +126,11 @@ let prepared () =
     Test.make ~name:"equilibrium/is_ge sequential (n=100)" (Staged.stage (fun () ->
         ignore (Gncg.Equilibrium.is_ge host100 ge100)));
     Test.make ~name:"equilibrium/is_ge parallel (n=100)" (Staged.stage (fun () ->
-        ignore (Gncg.Equilibrium.is_ge_parallel host100 ge100)));
+        ignore (Gncg.Equilibrium.is_ge ~exec:Gncg_util.Exec.default host100 ge100)));
     Test.make ~name:"equilibrium/is_ne sequential (n=40)" (Staged.stage (fun () ->
         ignore (Gncg.Equilibrium.is_ne host40 ge40)));
     Test.make ~name:"equilibrium/is_ne parallel (n=40)" (Staged.stage (fun () ->
-        ignore (Gncg.Equilibrium.is_ne_parallel host40 ge40)));
+        ignore (Gncg.Equilibrium.is_ne ~exec:Gncg_util.Exec.default host40 ge40)));
     (* Incremental APSP maintenance: one edge flip (insert + delete, the
        net work of a dynamics step) vs recomputing APSP from scratch. *)
     Test.make ~name:"incr/edge flip update (n=200)"

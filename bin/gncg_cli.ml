@@ -48,15 +48,83 @@ let positive_int =
   in
   Arg.conv (parse, Arg.conv_printer Arg.int)
 
-let domains_arg =
-  Arg.(value
-       & opt (some positive_int) None
-       & info [ "domains" ]
-           ~doc:
-             "parallel domain count for the multicore scans (default: the \
-              hardware-recommended count)")
+(* Execution/observability flags shared by every verb: one argument-spec
+   table instead of per-verb copies.  Each verb declares which of the
+   flags it [accepts]; the others are rejected loudly instead of being
+   silently dropped (sweep status used to swallow --domains). *)
+module Common = struct
+  type t = {
+    exec : Gncg_util.Exec.t option;
+    domains : int option;
+    trace : string option;
+    profile : bool;
+  }
 
-let set_domains domains = Gncg_util.Parallel.set_default_domains domains
+  type flag = Exec_flags | Trace | Profile
+
+  let exec_conv =
+    let parse s = Result.map_error (fun m -> `Msg m) (Gncg_util.Exec.of_string s) in
+    Arg.conv ~docv:"EXEC" (parse, Gncg_util.Exec.pp)
+
+  let term =
+    let exec_arg =
+      Arg.(value
+           & opt (some exec_conv) None
+           & info [ "exec" ]
+               ~doc:
+                 "execution strategy for the engine scans: seq | par | par:K \
+                  (default par; overrides --domains)")
+    in
+    let domains_arg =
+      Arg.(value
+           & opt (some positive_int) None
+           & info [ "domains" ]
+               ~doc:
+                 "parallel domain count for the multicore scans (default: the \
+                  hardware-recommended count)")
+    in
+    let trace_arg =
+      Arg.(value
+           & opt (some string) None
+           & info [ "trace" ] ~docv:"FILE"
+               ~doc:"write a JSONL observability trace (spans + counters) to FILE")
+    in
+    let profile_arg =
+      Arg.(value
+           & flag
+           & info [ "profile" ]
+               ~doc:"record engine counters and print a summary table to stderr on exit")
+    in
+    Term.(const (fun exec domains trace profile -> { exec; domains; trace; profile })
+          $ exec_arg $ domains_arg $ trace_arg $ profile_arg)
+
+  (* Validates the provided flags against the verb's accept list, wires
+     up tracing/profiling, and resolves the execution strategy
+     ([--exec] wins over [--domains]; the historical default is
+     parallel with the default domain count). *)
+  let setup ~verb ~accepts c =
+    let reject flag =
+      Printf.eprintf "gncg %s does not accept %s\n" verb flag;
+      exit 1
+    in
+    if not (List.mem Exec_flags accepts) then begin
+      if c.exec <> None then reject "--exec";
+      if c.domains <> None then reject "--domains"
+    end;
+    if c.trace <> None && not (List.mem Trace accepts) then reject "--trace";
+    if c.profile && not (List.mem Profile accepts) then reject "--profile";
+    Gncg_util.Parallel.set_default_domains c.domains;
+    (match c.trace with Some path -> Gncg_obs.Obs.trace_to_file path | None -> ());
+    if c.profile then begin
+      Gncg_obs.Obs.set_profiling true;
+      at_exit (fun () -> Gncg_obs.Obs.print_summary stderr)
+    end;
+    match c.exec with
+    | Some exec -> exec
+    | None -> Gncg_util.Exec.Par { domains = c.domains }
+
+  let all = [ Exec_flags; Trace; Profile ]
+end
 
 (* --- sweep ----------------------------------------------------------- *)
 
@@ -75,12 +143,25 @@ let require_renderer format =
     Printf.eprintf "unknown format %S (table | csv | json)\n" format;
     exit 1
 
-let sweep model n alpha seeds format domains =
+(* The canonical --evaluator flag, shared by every verb that runs
+   dynamics; parses through the engine's own [Gncg.Evaluator]. *)
+let evaluator_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Gncg.Evaluator.of_string s) in
+  Arg.conv ~docv:"EVAL" (parse, Gncg.Evaluator.pp)
+
+let evaluator_arg =
+  Arg.(value
+       & opt evaluator_conv `Incremental
+       & info [ "evaluator" ] ~doc:"best-move evaluator: reference | fast | incremental")
+
+let sweep model n alpha seeds format evaluator common =
   let render = require_renderer format in
-  set_domains domains;
+  let (_ : Gncg_util.Exec.t) =
+    Common.setup ~verb:"sweep" ~accepts:Common.all common
+  in
   let runs =
     List.init seeds (fun seed ->
-        Gncg_workload.Sweep.dynamics_run model ~n ~alpha ~seed:(seed + 1))
+        Gncg_workload.Sweep.dynamics_run model ~n ~alpha ~evaluator ~seed:(seed + 1))
   in
   render runs
 
@@ -88,7 +169,8 @@ let format_arg =
   Arg.(value & opt string "table" & info [ "format" ] ~doc:"table | csv | json")
 
 let sweep_one_shot_term =
-  Term.(const sweep $ model_arg $ n_arg $ alpha_arg $ seeds_arg $ format_arg $ domains_arg)
+  Term.(const sweep $ model_arg $ n_arg $ alpha_arg $ seeds_arg $ format_arg
+        $ evaluator_arg $ Common.term)
 
 (* Journal-backed batch sweeps (the runs subsystem). *)
 
@@ -111,16 +193,6 @@ let rule_arg =
 
 let max_steps_arg =
   Arg.(value & opt positive_int 5000 & info [ "max-steps" ] ~doc:"dynamics step budget")
-
-let evaluator_conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (Gncg_runs.Job.evaluator_of_string s) in
-  Arg.conv ~docv:"EVAL"
-    (parse, fun fmt e -> Format.pp_print_string fmt (Gncg_runs.Job.evaluator_to_string e))
-
-let evaluator_arg =
-  Arg.(value
-       & opt evaluator_conv `Incremental
-       & info [ "evaluator" ] ~doc:"reference | fast | incremental")
 
 let journal_arg required_for =
   let doc = Printf.sprintf "JSONL journal path (%s)" required_for in
@@ -161,24 +233,30 @@ let report_summary ~label (s : Gncg_runs.Batch.summary) =
   Format.eprintf "%s: %a@." label Gncg_runs.Batch.pp_progress s.progress
 
 let sweep_run model ns alphas seeds rule evaluator max_steps format journal budget
-    retries domains =
+    retries common =
   let render = require_renderer format in
-  set_domains domains;
+  let exec = Common.setup ~verb:"sweep run" ~accepts:Common.all common in
   let config =
     Gncg_runs.Batch.config ~rule ~evaluator ~max_steps model ~ns ~alphas
       ~seeds:(List.init seeds (fun s -> s + 1))
   in
-  let summary = Gncg_runs.Batch.run ?budget ~retries ?journal config in
+  let summary =
+    Gncg_runs.Batch.run ~domains:(Gncg_util.Exec.domain_count exec) ?budget ~retries
+      ?journal config
+  in
   report_summary
     ~label:(match journal with Some p -> "journal " ^ p | None -> "sweep")
     summary;
   render summary.runs
 
-let sweep_resume journal format budget retries domains =
+let sweep_resume journal format budget retries common =
   let render = require_renderer format in
   let path = require_journal journal in
-  set_domains domains;
-  match Gncg_runs.Batch.resume ?budget ~retries ~journal:path () with
+  let exec = Common.setup ~verb:"sweep resume" ~accepts:Common.all common in
+  match
+    Gncg_runs.Batch.resume ~domains:(Gncg_util.Exec.domain_count exec) ?budget ~retries
+      ~journal:path ()
+  with
   | Ok summary ->
     report_summary ~label:("journal " ^ path) summary;
     render summary.runs
@@ -186,7 +264,8 @@ let sweep_resume journal format budget retries domains =
     Printf.eprintf "resume failed: %s\n" msg;
     exit 1
 
-let sweep_status journal =
+let sweep_status journal common =
+  let (_ : Gncg_util.Exec.t) = Common.setup ~verb:"sweep status" ~accepts:[] common in
   let path = require_journal journal in
   match Gncg_runs.Batch.status ~journal:path with
   | Ok (manifest, progress) ->
@@ -217,19 +296,19 @@ let sweep_run_cmd =
     Term.(const sweep_run $ model_arg $ ns_arg $ alphas_arg $ seeds_arg $ rule_arg
           $ evaluator_arg $ max_steps_arg $ format_arg
           $ journal_arg "optional: enables kill-and-resume"
-          $ budget_arg $ retries_arg $ domains_arg)
+          $ budget_arg $ retries_arg $ Common.term)
 
 let sweep_resume_cmd =
   Cmd.v
     (Cmd.info "resume" ~doc:"finish an interrupted journal-backed sweep; \
                              already-journaled jobs are not re-executed")
     Term.(const sweep_resume
-          $ journal_arg "required" $ format_arg $ budget_arg $ retries_arg $ domains_arg)
+          $ journal_arg "required" $ format_arg $ budget_arg $ retries_arg $ Common.term)
 
 let sweep_status_cmd =
   Cmd.v
     (Cmd.info "status" ~doc:"show a journal's manifest and completion counts")
-    Term.(const sweep_status $ journal_arg "required")
+    Term.(const sweep_status $ journal_arg "required" $ Common.term)
 
 let sweep_cmd =
   Cmd.group ~default:sweep_one_shot_term
@@ -294,8 +373,10 @@ let which_arg =
        & pos 0 (some string) None
        & info [] ~docv:"WHICH" ~doc:"thm8 | thm15 | thm18 | thm19 | lemma8 | thm20")
 
-let construct_with_save which alpha n save domains =
-  set_domains domains;
+let construct_with_save which alpha n save common =
+  let (_ : Gncg_util.Exec.t) =
+    Common.setup ~verb:"construct" ~accepts:Common.all common
+  in
   construct which alpha n;
   match save with
   | None -> ()
@@ -333,12 +414,12 @@ let save_arg =
 let construct_cmd =
   Cmd.v
     (Cmd.info "construct" ~doc:"evaluate a lower-bound construction of the paper")
-    Term.(const construct_with_save $ which_arg $ alpha_arg $ n_arg $ save_arg $ domains_arg)
+    Term.(const construct_with_save $ which_arg $ alpha_arg $ n_arg $ save_arg $ Common.term)
 
 (* --- check ---------------------------------------------------------------- *)
 
-let check_files host_path profile_path domains =
-  set_domains domains;
+let check_files host_path profile_path common =
+  let exec = Common.setup ~verb:"check" ~accepts:Common.all common in
   let host = Gncg.Serialize.host_of_file host_path in
   let profile = Gncg.Serialize.profile_of_file profile_path in
   if Gncg.Strategy.n profile <> Gncg.Host.n host then begin
@@ -349,10 +430,10 @@ let check_files host_path profile_path domains =
   Printf.printf "agents            %d\n" (Gncg.Host.n host);
   Printf.printf "metric host       %b\n" (Gncg_metric.Metric.is_metric (Gncg.Host.metric host));
   Printf.printf "social cost       %.4f\n" (Gncg.Cost.social_cost host profile);
-  Printf.printf "add-only stable   %b\n" (Gncg.Equilibrium.is_ae_parallel host profile);
-  Printf.printf "greedy stable     %b\n" (Gncg.Equilibrium.is_ge_parallel host profile);
+  Printf.printf "add-only stable   %b\n" (Gncg.Equilibrium.is_ae ~exec host profile);
+  Printf.printf "greedy stable     %b\n" (Gncg.Equilibrium.is_ge ~exec host profile);
   if Gncg.Host.n host <= 12 then begin
-    match Gncg.Equilibrium.certify_parallel Gncg.Equilibrium.NE host profile with
+    match Gncg.Equilibrium.certify ~exec Gncg.Equilibrium.NE host profile with
     | Ok () -> print_endline "Nash equilibrium  true"
     | Error grievances ->
       print_endline "Nash equilibrium  false";
@@ -371,12 +452,15 @@ let profile_path_arg =
 let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc:"check equilibrium properties of a saved instance")
-    Term.(const check_files $ host_path_arg $ profile_path_arg $ domains_arg)
+    Term.(const check_files $ host_path_arg $ profile_path_arg $ Common.term)
 
 (* --- cycles ------------------------------------------------------------ *)
 
-let cycles domains =
-  set_domains domains;
+(* The cycle certificates are tiny fixed instances: no flag does
+   anything here, so none are accepted (previously --domains was
+   silently swallowed). *)
+let cycles common =
+  let (_ : Gncg_util.Exec.t) = Common.setup ~verb:"cycles" ~accepts:[] common in
   let show name (host, cycle) =
     Printf.printf "%s: %d improving moves, certificate valid: %b\n" name
       (List.length cycle - 1)
@@ -390,12 +474,16 @@ let cycles domains =
 let cycles_cmd =
   Cmd.v
     (Cmd.info "cycles" ~doc:"print the stored improving-move cycles")
-    Term.(const cycles $ domains_arg)
+    Term.(const cycles $ Common.term)
 
 (* --- br ----------------------------------------------------------------- *)
 
-let br model n alpha seed domains =
-  set_domains domains;
+(* br is a sequential per-agent comparison: tracing/profiling make
+   sense, the execution flags do not. *)
+let br model n alpha seed common =
+  let (_ : Gncg_util.Exec.t) =
+    Common.setup ~verb:"br" ~accepts:[ Common.Trace; Common.Profile ] common
+  in
   let rng = Gncg_util.Prng.create seed in
   let host = Gncg_workload.Instances.random_host rng model ~n ~alpha in
   let s = Gncg_workload.Instances.random_profile rng host in
@@ -412,12 +500,12 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"instance seed")
 let br_cmd =
   Cmd.v
     (Cmd.info "br" ~doc:"compare best-response engines on one random instance")
-    Term.(const br $ model_arg $ n_arg $ alpha_arg $ seed_arg $ domains_arg)
+    Term.(const br $ model_arg $ n_arg $ alpha_arg $ seed_arg $ Common.term)
 
 (* --- stats --------------------------------------------------------------- *)
 
-let stats model n alpha seed domains =
-  set_domains domains;
+let stats model n alpha seed common =
+  let (_ : Gncg_util.Exec.t) = Common.setup ~verb:"stats" ~accepts:Common.all common in
   let rng = Gncg_util.Prng.create seed in
   let host = Gncg_workload.Instances.random_host rng model ~n ~alpha in
   let module T = Gncg_util.Tablefmt in
@@ -443,7 +531,7 @@ let stats model n alpha seed domains =
 let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc:"network statistics of optimum / MST / equilibrium designs")
-    Term.(const stats $ model_arg $ n_arg $ alpha_arg $ seed_arg $ domains_arg)
+    Term.(const stats $ model_arg $ n_arg $ alpha_arg $ seed_arg $ Common.term)
 
 let () =
   let doc = "Geometric Network Creation Games engine" in

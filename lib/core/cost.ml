@@ -39,9 +39,19 @@ let social_parts host s =
   done;
   { edge = !edge; dist = !dist }
 
-let social_cost host s =
-  let p = social_parts host s in
-  p.edge +. p.dist
+let social_cost ?(exec = Gncg_util.Exec.Seq) host s =
+  match exec with
+  | Gncg_util.Exec.Seq ->
+    let p = social_parts host s in
+    p.edge +. p.dist
+  | _ ->
+    let g = Network.graph host s in
+    let n = Strategy.n s in
+    let per_agent =
+      Gncg_util.Exec.init ~exec n (fun u ->
+          agent_edge_cost host s u +. agent_dist_cost ~graph:g host s u)
+    in
+    Flt.sum per_agent
 
 let network_parts host g =
   let dist = ref 0.0 in
@@ -50,22 +60,24 @@ let network_parts host g =
   done;
   { edge = Host.alpha host *. Gncg_graph.Wgraph.total_weight g; dist = !dist }
 
-let network_social_cost host g =
-  let p = network_parts host g in
-  p.edge +. p.dist
+let network_social_cost ?(exec = Gncg_util.Exec.Seq) host g =
+  match exec with
+  | Gncg_util.Exec.Seq ->
+    let p = network_parts host g in
+    p.edge +. p.dist
+  | _ ->
+    let dist =
+      Gncg_util.Exec.init ~exec (Gncg_graph.Wgraph.n g) (fun u ->
+          Flt.sum (Gncg_graph.Dijkstra.sssp g u))
+    in
+    (Host.alpha host *. Gncg_graph.Wgraph.total_weight g) +. Flt.sum dist
+
+(* BEGIN deprecated _parallel aliases *)
 
 let social_cost_parallel ?domains host s =
-  let g = Network.graph host s in
-  let n = Strategy.n s in
-  let per_agent =
-    Gncg_util.Parallel.init ?domains n (fun u ->
-        agent_edge_cost host s u +. agent_dist_cost ~graph:g host s u)
-  in
-  Flt.sum per_agent
+  social_cost ~exec:(Gncg_util.Exec.Par { domains }) host s
 
 let network_social_cost_parallel ?domains host g =
-  let dist =
-    Gncg_util.Parallel.init ?domains (Gncg_graph.Wgraph.n g) (fun u ->
-        Flt.sum (Gncg_graph.Dijkstra.sssp g u))
-  in
-  (Host.alpha host *. Gncg_graph.Wgraph.total_weight g) +. Flt.sum dist
+  network_social_cost ~exec:(Gncg_util.Exec.Par { domains }) host g
+
+(* END deprecated _parallel aliases *)

@@ -23,19 +23,28 @@ val agent_cost_with_dists : Host.t -> Strategy.t -> int -> float array -> float
 
 val agent_parts : ?graph:Gncg_graph.Wgraph.t -> Host.t -> Strategy.t -> int -> parts
 
-val social_cost : Host.t -> Strategy.t -> float
+val social_cost : ?exec:Gncg_util.Exec.t -> Host.t -> Strategy.t -> float
+(** Defaults to [Exec.Seq].  Under [Par] the per-agent distance sums are
+    split across OCaml 5 domains — the engine's hot loop on large hosts.
+    The two strategies sum floats in different orders, so totals can
+    differ in the last ulps; equilibrium verdicts never depend on them
+    at that precision. *)
 
 val social_parts : Host.t -> Strategy.t -> parts
 
-val network_social_cost : Host.t -> Gncg_graph.Wgraph.t -> float
+val network_social_cost : ?exec:Gncg_util.Exec.t -> Host.t -> Gncg_graph.Wgraph.t -> float
 (** Social cost of a network in which every edge is bought exactly once
     (ownership does not matter for the total):
-    [α · Σ_e w(e) + Σ_u Σ_v d(u,v)]. *)
+    [α · Σ_e w(e) + Σ_u Σ_v d(u,v)].  Defaults to [Exec.Seq]. *)
 
 val network_parts : Host.t -> Gncg_graph.Wgraph.t -> parts
 
+(* BEGIN deprecated _parallel aliases *)
+
 val social_cost_parallel : ?domains:int -> Host.t -> Strategy.t -> float
-(** [social_cost] with the per-agent distance sums split across OCaml 5
-    domains — the engine's hot loop on large hosts. *)
+[@@ocaml.deprecated "Use Cost.social_cost ?exec:(Par { domains }) instead."]
 
 val network_social_cost_parallel : ?domains:int -> Host.t -> Gncg_graph.Wgraph.t -> float
+[@@ocaml.deprecated "Use Cost.network_social_cost ?exec:(Par { domains }) instead."]
+
+(* END deprecated _parallel aliases *)

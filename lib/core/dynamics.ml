@@ -1,5 +1,15 @@
 module Flt = Gncg_util.Flt
 module Changed_rows = Gncg_graph.Changed_rows
+module Metric = Gncg_obs.Metric
+module Span = Gncg_obs.Span
+
+(* Layer-3 probes.  The counters shadow the per-run [metrics] record —
+   same accounting, but global, mergeable and togglable at run time. *)
+let c_evaluations = Metric.Counter.make "dynamics.evaluations"
+let c_moves = Metric.Counter.make "dynamics.moves"
+let c_skips = Metric.Counter.make "dynamics.skips"
+let p_step = Span.probe "dynamics.step"
+let p_run = Span.probe "dynamics.run"
 
 type rule =
   | Best_response
@@ -95,6 +105,7 @@ let run ?(max_steps = 10_000) ?(evaluator = `Reference) ?metrics ~rule ~schedule
   let rowlocal = Array.make n false in
   let attempt s u =
     m.evaluations <- m.evaluations + 1;
+    Metric.Counter.incr c_evaluations;
     match state with
     | Some st -> (
       let best, rl = Fast_response.best_move_state_verdict ~kinds:(rule_kinds rule) st ~agent:u in
@@ -173,7 +184,11 @@ let run ?(max_steps = 10_000) ?(evaluator = `Reference) ?metrics ~rule ~schedule
               ch.Net_state.rows;
             !clean
           in
-          if keep then m.skips <- m.skips + 1 else drop_idle a
+          if keep then begin
+            m.skips <- m.skips + 1;
+            Metric.Counter.incr c_skips
+          end
+          else drop_idle a
         end
       done
     end
@@ -187,12 +202,13 @@ let run ?(max_steps = 10_000) ?(evaluator = `Reference) ?metrics ~rule ~schedule
       let u = next_agent step_idx in
       if idle.(u) then go s (step_idx + 1)
       else
-      match attempt s u with
+      match Span.with_probe p_step (fun () -> attempt s u) with
       | None ->
         mark_idle u;
         go s (step_idx + 1)
       | Some (s', gain, before) ->
         m.moves <- m.moves + 1;
+        Metric.Counter.incr c_moves;
         steps := { mover = u; before_cost = before; after_cost = before -. gain } :: !steps;
         let key = Strategy.canonical_key s' in
         (match Hashtbl.find_opt seen key with
@@ -214,4 +230,4 @@ let run ?(max_steps = 10_000) ?(evaluator = `Reference) ?metrics ~rule ~schedule
           go s' (step_idx + 1))
     end
   in
-  go start 0
+  Span.with_probe p_run (fun () -> go start 0)

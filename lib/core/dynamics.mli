@@ -25,7 +25,13 @@ type step = { mover : int; before_cost : float; after_cost : float }
     [evaluations] counts single-agent evaluator calls, [moves] accepted
     moves, and [skips] agents whose idle verdict was preserved across an
     accepted move by the dirty-row analysis (incremental evaluator only)
-    instead of being re-evaluated. *)
+    instead of being re-evaluated.
+
+    Subsumed by the observability layer: {!run} now feeds the same
+    accounting into the [dynamics.*] counters of [Gncg_obs.Metric]
+    (enabled via [--profile] / [Gncg_obs.Obs.set_profiling]), which
+    also survive across runs and merge across domains.  The record stays
+    for callers that want per-run numbers without global state. *)
 type metrics = {
   mutable evaluations : int;
   mutable moves : int;
@@ -33,6 +39,9 @@ type metrics = {
 }
 
 val fresh_metrics : unit -> metrics
+[@@ocaml.deprecated
+  "Use the dynamics.* counters of Gncg_obs (see docs/OBSERVABILITY.md), or build the \
+   record literally if you need per-run numbers."]
 
 type outcome =
   | Converged of { profile : Strategy.t; rounds : int; steps : step list }
@@ -49,7 +58,7 @@ type outcome =
 
 val run :
   ?max_steps:int ->
-  ?evaluator:[ `Reference | `Fast | `Incremental ] ->
+  ?evaluator:Evaluator.t ->
   ?metrics:metrics ->
   rule:rule ->
   scheduler:scheduler ->
@@ -78,7 +87,7 @@ val run :
     may differ within float tolerance. *)
 
 val deviation :
-  ?evaluator:[ `Reference | `Fast | `Incremental ] ->
+  ?evaluator:Evaluator.t ->
   rule ->
   Host.t ->
   Strategy.t ->

@@ -1,7 +1,12 @@
 module Flt = Gncg_util.Flt
-module Parallel = Gncg_util.Parallel
+module Exec = Gncg_util.Exec
 
 type kind = NE | GE | AE
+
+(* One span around each stateless whole-profile scan: the only probe of
+   the CLI `check`/`construct` paths, which never touch the stateful
+   engines.  Disabled cost: two flag reads per scan. *)
+let p_check = Gncg_obs.Span.probe "equilibrium.check"
 
 let kinds_of = function AE -> [ `Add ] | GE -> [ `Add; `Delete; `Swap ] | NE -> []
 
@@ -20,38 +25,27 @@ let agent_happy ?oracle kind host s u =
   let best = best_deviation_cost ?oracle ~graph kind host s u in
   Flt.le current best
 
-let for_all_agents f s =
-  let n = Strategy.n s in
-  let rec go u = u >= n || (f u && go (u + 1)) in
-  go 0
+(* The per-agent check is pure on immutable host/profile data, so under
+   [Par] agents fan out across domains; the boolean checks early-exit as
+   soon as any domain finds an unhappy agent. *)
 
-let is_ae host s = for_all_agents (agent_happy AE host s) s
+let is_ae ?(exec = Exec.Seq) host s =
+  Gncg_obs.Span.with_probe p_check (fun () ->
+      Exec.for_all ~exec (Strategy.n s) (agent_happy AE host s))
 
-let is_ge host s = for_all_agents (agent_happy GE host s) s
+let is_ge ?(exec = Exec.Seq) host s =
+  Gncg_obs.Span.with_probe p_check (fun () ->
+      Exec.for_all ~exec (Strategy.n s) (agent_happy GE host s))
 
-let is_ne ?oracle host s = for_all_agents (agent_happy ?oracle NE host s) s
+let is_ne ?oracle ?(exec = Exec.Seq) host s =
+  Gncg_obs.Span.with_probe p_check (fun () ->
+      Exec.for_all ~exec (Strategy.n s) (agent_happy ?oracle NE host s))
 
-let is_equilibrium kind host s =
-  match kind with AE -> is_ae host s | GE -> is_ge host s | NE -> is_ne host s
-
-(* Parallel scans: the per-agent check is pure on immutable host/profile
-   data, so agents fan out across domains; the boolean checks early-exit
-   as soon as any domain finds an unhappy agent. *)
-
-let is_ae_parallel ?domains host s =
-  Parallel.for_all ?domains (Strategy.n s) (agent_happy AE host s)
-
-let is_ge_parallel ?domains host s =
-  Parallel.for_all ?domains (Strategy.n s) (agent_happy GE host s)
-
-let is_ne_parallel ?oracle ?domains host s =
-  Parallel.for_all ?domains (Strategy.n s) (agent_happy ?oracle NE host s)
-
-let is_equilibrium_parallel ?domains kind host s =
+let is_equilibrium ?exec kind host s =
   match kind with
-  | AE -> is_ae_parallel ?domains host s
-  | GE -> is_ge_parallel ?domains host s
-  | NE -> is_ne_parallel ?domains host s
+  | AE -> is_ae ?exec host s
+  | GE -> is_ge ?exec host s
+  | NE -> is_ne ?exec host s
 
 let agent_approx_factor kind host s u =
   let graph = Network.graph host s in
@@ -73,14 +67,15 @@ let is_beta kind ~beta host s =
   if beta < 1.0 then invalid_arg "Equilibrium.is_beta: beta < 1";
   Flt.le (approx_factor kind host s) beta
 
-let unhappy_agents kind host s =
+let unhappy_agents ?(exec = Exec.Seq) kind host s =
+  Gncg_obs.Span.with_probe p_check @@ fun () ->
   let n = Strategy.n s in
-  List.filter (fun u -> not (agent_happy kind host s u)) (List.init n (fun u -> u))
-
-let unhappy_agents_parallel ?domains kind host s =
-  let n = Strategy.n s in
-  let happy = Parallel.init ?domains n (agent_happy kind host s) in
-  List.filter (fun u -> not happy.(u)) (List.init n (fun u -> u))
+  match exec with
+  | Exec.Seq ->
+    List.filter (fun u -> not (agent_happy kind host s u)) (List.init n (fun u -> u))
+  | _ ->
+    let happy = Exec.init ~exec n (agent_happy kind host s) in
+    List.filter (fun u -> not happy.(u)) (List.init n (fun u -> u))
 
 type grievance = {
   agent : int;
@@ -113,15 +108,36 @@ let verdict_of_grievances = function
            Float.compare (b.current_cost -. b.best_cost) (a.current_cost -. a.best_cost))
          gs)
 
-let certify kind host s =
+let certify ?(exec = Exec.Seq) kind host s =
+  Gncg_obs.Span.with_probe p_check @@ fun () ->
   let n = Strategy.n s in
-  verdict_of_grievances
-    (List.filter_map (agent_grievance kind host s) (List.init n (fun u -> u)))
+  match exec with
+  | Exec.Seq ->
+    verdict_of_grievances
+      (List.filter_map (agent_grievance kind host s) (List.init n (fun u -> u)))
+  | _ ->
+    let per_agent = Exec.init ~exec n (agent_grievance kind host s) in
+    verdict_of_grievances (List.filter_map Fun.id (Array.to_list per_agent))
 
-let certify_parallel ?domains kind host s =
-  let n = Strategy.n s in
-  let per_agent = Parallel.init ?domains n (agent_grievance kind host s) in
-  verdict_of_grievances (List.filter_map Fun.id (Array.to_list per_agent))
+(* BEGIN deprecated _parallel aliases *)
+
+let par domains = Exec.Par { domains }
+
+let is_ae_parallel ?domains host s = is_ae ~exec:(par domains) host s
+
+let is_ge_parallel ?domains host s = is_ge ~exec:(par domains) host s
+
+let is_ne_parallel ?oracle ?domains host s = is_ne ?oracle ~exec:(par domains) host s
+
+let is_equilibrium_parallel ?domains kind host s =
+  is_equilibrium ~exec:(par domains) kind host s
+
+let unhappy_agents_parallel ?domains kind host s =
+  unhappy_agents ~exec:(par domains) kind host s
+
+let certify_parallel ?domains kind host s = certify ~exec:(par domains) kind host s
+
+(* END deprecated _parallel aliases *)
 
 let pp_grievance fmt g =
   Format.fprintf fmt "agent %d pays %.4f but could pay %.4f" g.agent g.current_cost
@@ -136,23 +152,55 @@ let pp_grievance fmt g =
 
 module Tracker = struct
   module Changed_rows = Gncg_graph.Changed_rows
+  module Metric = Gncg_obs.Metric
+  module Span = Gncg_obs.Span
+
+  (* Layer-3 probes: re-evaluation vs skip accounting of the cached
+     scans, and the scan/refresh spans. *)
+  let c_reevals = Metric.Counter.make "equilibrium.tracker_reevals"
+  let c_skips = Metric.Counter.make "equilibrium.tracker_skips"
+  let p_scan = Span.probe "equilibrium.scan"
+  let p_refresh = Span.probe "equilibrium.refresh"
 
   type t = {
     kind : kind;
+    evaluator : Evaluator.t;
     st : Net_state.t;
     happy : Bytes.t;    (* cached per-agent verdict, '\001' = happy *)
     rowlocal : Bytes.t; (* verdict decided with zero what-if Dijkstras *)
     mutable last_reevaluated : int;
   }
 
+  (* The non-incremental evaluators never prove row-locality, so their
+     verdicts are re-derived on every refresh — correct (the dirty rule
+     treats non-row-local as always dirty), just without the skipping. *)
   let evaluate t u =
-    let best, rl =
-      Fast_response.best_move_state_verdict ~kinds:(kinds_of t.kind) t.st ~agent:u
+    let happy, rl =
+      match t.evaluator with
+      | `Incremental ->
+        let best, rl =
+          Fast_response.best_move_state_verdict ~kinds:(kinds_of t.kind) t.st ~agent:u
+        in
+        (best = None, rl)
+      | `Fast ->
+        let best =
+          Fast_response.best_move ~kinds:(kinds_of t.kind) (Net_state.host t.st)
+            (Net_state.profile t.st) ~agent:u
+        in
+        (best = None, false)
+      | `Reference ->
+        let host = Net_state.host t.st and s = Net_state.profile t.st in
+        let graph = Network.graph host s in
+        let current = Cost.agent_cost ~graph host s u in
+        let best =
+          Greedy.best_single_move_cost ~kinds:(kinds_of t.kind) ~graph host s ~agent:u
+        in
+        (Flt.le current best, false)
     in
-    Bytes.unsafe_set t.happy u (match best with None -> '\001' | Some _ -> '\000');
+    Bytes.unsafe_set t.happy u (if happy then '\001' else '\000');
     Bytes.unsafe_set t.rowlocal u (if rl then '\001' else '\000')
 
-  let create kind st =
+  let create ?(evaluator = `Incremental) kind st =
     (match kind with
     | NE -> invalid_arg "Equilibrium.Tracker.create: NE needs the best-response oracle"
     | GE | AE -> ());
@@ -163,20 +211,25 @@ module Tracker = struct
     let t =
       {
         kind;
+        evaluator;
         st;
         happy = Bytes.make n '\000';
         rowlocal = Bytes.make n '\000';
         last_reevaluated = n;
       }
     in
-    for u = 0 to n - 1 do
-      evaluate t u
-    done;
+    Span.with_probe p_scan (fun () ->
+        for u = 0 to n - 1 do
+          evaluate t u
+        done);
+    Metric.Counter.add c_reevals n;
     t
 
   let state t = t.st
 
   let kind t = t.kind
+
+  let evaluator t = t.evaluator
 
   (* Same preservation rule as Dynamics.run: a cached verdict — happy or
      unhappy — is a pure replay of its inputs when it was row-local and
@@ -185,29 +238,32 @@ module Tracker = struct
      to one of its addable targets.  Everything else is re-evaluated;
      the refreshed verdicts are byte-identical to a full rescan. *)
   let refresh t =
-    let n = Strategy.n (Net_state.profile t.st) in
-    let ch = Net_state.drain_changes t.st in
-    let host = Net_state.host t.st in
-    let s = Net_state.profile t.st in
-    let dirty u =
-      Bytes.unsafe_get t.rowlocal u = '\000'
-      || Changed_rows.mem ch.Net_state.rows u
-      || List.exists (fun (x, y) -> x = u || y = u) ch.Net_state.pairs
-      ||
-      let hit = ref false in
-      Changed_rows.iter
-        (fun v -> if (not !hit) && Move.addable host s ~agent:u v then hit := true)
-        ch.Net_state.rows;
-      !hit
-    in
-    let reevaluated = ref 0 in
-    for u = 0 to n - 1 do
-      if ch.Net_state.full || dirty u then begin
-        evaluate t u;
-        incr reevaluated
-      end
-    done;
-    t.last_reevaluated <- !reevaluated
+    Span.with_probe p_refresh (fun () ->
+        let n = Strategy.n (Net_state.profile t.st) in
+        let ch = Net_state.drain_changes t.st in
+        let host = Net_state.host t.st in
+        let s = Net_state.profile t.st in
+        let dirty u =
+          Bytes.unsafe_get t.rowlocal u = '\000'
+          || Changed_rows.mem ch.Net_state.rows u
+          || List.exists (fun (x, y) -> x = u || y = u) ch.Net_state.pairs
+          ||
+          let hit = ref false in
+          Changed_rows.iter
+            (fun v -> if (not !hit) && Move.addable host s ~agent:u v then hit := true)
+            ch.Net_state.rows;
+          !hit
+        in
+        let reevaluated = ref 0 in
+        for u = 0 to n - 1 do
+          if ch.Net_state.full || dirty u then begin
+            evaluate t u;
+            incr reevaluated
+          end
+          else Metric.Counter.incr c_skips
+        done;
+        Metric.Counter.add c_reevals !reevaluated;
+        t.last_reevaluated <- !reevaluated)
 
   let last_reevaluated t = t.last_reevaluated
 

@@ -10,28 +10,26 @@
 
 type kind = NE | GE | AE
 
-val is_ae : Host.t -> Strategy.t -> bool
+(** The boolean checks all take [?exec] (default [Exec.Seq]): under
+    [Par] the per-agent checks fan out across OCaml 5 domains with an
+    early exit once any domain finds an unhappy agent.  Same verdict as
+    the sequential scan (property-tested); only the set of agents
+    actually inspected on a negative answer differs. *)
 
-val is_ge : Host.t -> Strategy.t -> bool
+val is_ae : ?exec:Gncg_util.Exec.t -> Host.t -> Strategy.t -> bool
 
-val is_ne : ?oracle:[ `Branch_and_bound | `Enumerate ] -> Host.t -> Strategy.t -> bool
+val is_ge : ?exec:Gncg_util.Exec.t -> Host.t -> Strategy.t -> bool
+
+val is_ne :
+  ?oracle:[ `Branch_and_bound | `Enumerate ] ->
+  ?exec:Gncg_util.Exec.t ->
+  Host.t ->
+  Strategy.t ->
+  bool
 (** Exact Nash check via best responses; exponential.  The default oracle
     is the branch-and-bound. *)
 
-val is_equilibrium : kind -> Host.t -> Strategy.t -> bool
-
-val is_ae_parallel : ?domains:int -> Host.t -> Strategy.t -> bool
-
-val is_ge_parallel : ?domains:int -> Host.t -> Strategy.t -> bool
-
-val is_ne_parallel :
-  ?oracle:[ `Branch_and_bound | `Enumerate ] -> ?domains:int -> Host.t -> Strategy.t -> bool
-(** Parallel variants of the boolean checks: agents fan out across OCaml 5
-    domains with an early exit once any domain finds an unhappy agent.
-    Same verdict as the sequential checks (property-tested); only the
-    set of agents actually inspected on a negative answer differs. *)
-
-val is_equilibrium_parallel : ?domains:int -> kind -> Host.t -> Strategy.t -> bool
+val is_equilibrium : ?exec:Gncg_util.Exec.t -> kind -> Host.t -> Strategy.t -> bool
 
 val agent_approx_factor : kind -> Host.t -> Strategy.t -> int -> float
 (** [cost(u) / best-deviation-cost(u)] for one agent (1 when already
@@ -43,12 +41,10 @@ val approx_factor : kind -> Host.t -> Strategy.t -> float
 
 val is_beta : kind -> beta:float -> Host.t -> Strategy.t -> bool
 
-val unhappy_agents : kind -> Host.t -> Strategy.t -> int list
-(** Agents with an improving deviation of the given kind. *)
-
-val unhappy_agents_parallel : ?domains:int -> kind -> Host.t -> Strategy.t -> int list
-(** Same list (ascending agent order), with the per-agent checks split
-    across domains; no early exit since every agent is reported. *)
+val unhappy_agents : ?exec:Gncg_util.Exec.t -> kind -> Host.t -> Strategy.t -> int list
+(** Agents with an improving deviation of the given kind, in ascending
+    agent order regardless of [exec]; under [Par] there is no early exit
+    since every agent is reported. *)
 
 type grievance = {
   agent : int;
@@ -58,17 +54,38 @@ type grievance = {
       (** the improving strategy for [NE]; [None] for single-move kinds *)
 }
 
-val certify : kind -> Host.t -> Strategy.t -> (unit, grievance list) result
+val certify :
+  ?exec:Gncg_util.Exec.t -> kind -> Host.t -> Strategy.t -> (unit, grievance list) result
 (** [Ok ()] when the profile is an equilibrium of the kind; otherwise the
     per-agent evidence, sorted by decreasing improvement.  Powers the
-    human-readable reports of the CLI. *)
+    human-readable reports of the CLI.  Verdict and ordering are
+    independent of [exec]. *)
+
+val pp_grievance : Format.formatter -> grievance -> unit
+
+(* BEGIN deprecated _parallel aliases *)
+
+val is_ae_parallel : ?domains:int -> Host.t -> Strategy.t -> bool
+[@@ocaml.deprecated "Use Equilibrium.is_ae ?exec:(Par { domains }) instead."]
+
+val is_ge_parallel : ?domains:int -> Host.t -> Strategy.t -> bool
+[@@ocaml.deprecated "Use Equilibrium.is_ge ?exec:(Par { domains }) instead."]
+
+val is_ne_parallel :
+  ?oracle:[ `Branch_and_bound | `Enumerate ] -> ?domains:int -> Host.t -> Strategy.t -> bool
+[@@ocaml.deprecated "Use Equilibrium.is_ne ?exec:(Par { domains }) instead."]
+
+val is_equilibrium_parallel : ?domains:int -> kind -> Host.t -> Strategy.t -> bool
+[@@ocaml.deprecated "Use Equilibrium.is_equilibrium ?exec:(Par { domains }) instead."]
+
+val unhappy_agents_parallel : ?domains:int -> kind -> Host.t -> Strategy.t -> int list
+[@@ocaml.deprecated "Use Equilibrium.unhappy_agents ?exec:(Par { domains }) instead."]
 
 val certify_parallel :
   ?domains:int -> kind -> Host.t -> Strategy.t -> (unit, grievance list) result
-(** [certify] with the per-agent oracles split across domains; produces
-    the identical verdict and ordering. *)
+[@@ocaml.deprecated "Use Equilibrium.certify ?exec:(Par { domains }) instead."]
 
-val pp_grievance : Format.formatter -> grievance -> unit
+(* END deprecated _parallel aliases *)
 
 (** Cached equilibrium scanning over a live {!Net_state.t}.
 
@@ -83,16 +100,24 @@ val pp_grievance : Format.formatter -> grievance -> unit
 module Tracker : sig
   type t
 
-  val create : kind -> Net_state.t -> t
+  val create : ?evaluator:Evaluator.t -> kind -> Net_state.t -> t
   (** Full initial scan of every agent.  The tracker holds onto the state
       (apply moves through {!Net_state.apply_move} on it, then
       {!refresh}); it drains any change report already pending.  Raises
       [Invalid_argument] for [NE] — single-move verdicts cover GE and AE
-      only. *)
+      only.
+
+      [evaluator] (default [`Incremental]) selects the single-move
+      engine behind each verdict.  All three agree on every verdict
+      (property-tested), but only [`Incremental] produces row-locality
+      proofs, so the others re-evaluate every agent on each
+      {!refresh}. *)
 
   val state : t -> Net_state.t
 
   val kind : t -> kind
+
+  val evaluator : t -> Evaluator.t
 
   val refresh : t -> unit
   (** Re-evaluates exactly the agents whose cached verdict the change

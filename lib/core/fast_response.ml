@@ -2,6 +2,13 @@ module Wgraph = Gncg_graph.Wgraph
 module Dijkstra = Gncg_graph.Dijkstra
 module Flt = Gncg_util.Flt
 module ISet = Strategy.ISet
+module Metric = Gncg_obs.Metric
+
+(* Layer-2 probes: how often each evaluator runs, and how many stateful
+   verdicts were decided without a what-if Dijkstra. *)
+let c_stateless_evals = Metric.Counter.make "fast_response.stateless_evals"
+let c_state_evals = Metric.Counter.make "fast_response.state_evals"
+let c_rowlocal_verdicts = Metric.Counter.make "fast_response.rowlocal_verdicts"
 
 (* Distance sum from the agent given the min-formula over an added edge
    (u,v): d'(x) = min(d_u(x), w + d_v(x)) — one streaming pass, nothing
@@ -15,6 +22,7 @@ let gain_between cur_cost cost' =
   if Flt.approx_eq cost' cur_cost then 0.0 else cur_cost -. cost'
 
 let move_gains ?kinds host s ~agent =
+  Metric.Counter.incr c_stateless_evals;
   let g = Network.graph host s in
   let d_u = Dijkstra.sssp g agent in
   let cur_dist = Flt.sum d_u in
@@ -140,6 +148,7 @@ let move_gains_state ?kinds st ~agent =
    earlier candidate, so the result is identical to folding pick over the
    materialized list (tested). *)
 let best_move_state_verdict ?(kinds = [ `Add; `Delete; `Swap ]) st ~agent =
+  Metric.Counter.incr c_state_evals;
   let host = Net_state.host st in
   let s = Net_state.profile st in
   let n = Strategy.n s in
@@ -239,6 +248,7 @@ let best_move_state_verdict ?(kinds = [ `Add; `Delete; `Swap ]) st ~agent =
         done)
       owned
   end;
+  if !rowlocal then Metric.Counter.incr c_rowlocal_verdicts;
   (!best, !rowlocal)
 
 let best_move_state ?kinds st ~agent = fst (best_move_state_verdict ?kinds st ~agent)

@@ -2,6 +2,14 @@ module Wgraph = Gncg_graph.Wgraph
 module Incr_apsp = Gncg_graph.Incr_apsp
 module Changed_rows = Gncg_graph.Changed_rows
 module Flt = Gncg_util.Flt
+module Metric = Gncg_obs.Metric
+
+(* Layer-2 probes: the cost-cache hit rate and the size of the change
+   reports flowing to the trackers above. *)
+let c_cache_hits = Metric.Counter.make "net_state.cost_cache_hits"
+let c_cache_misses = Metric.Counter.make "net_state.cost_cache_misses"
+let c_moves_applied = Metric.Counter.make "net_state.moves_applied"
+let h_report_rows = Metric.Histogram.make "net_state.change_report_rows"
 
 type changes = {
   rows : Changed_rows.t;
@@ -54,8 +62,12 @@ let dist_sum_with_edge t u v w = Incr_apsp.dist_sum_with_edge t.apsp u v w
 let min_sum_against t r v w = Incr_apsp.min_sum_against t.apsp r v w
 
 let agent_cost t u =
-  if Bytes.unsafe_get t.cost_valid u = '\001' then Array.unsafe_get t.costs u
+  if Bytes.unsafe_get t.cost_valid u = '\001' then begin
+    Metric.Counter.incr c_cache_hits;
+    Array.unsafe_get t.costs u
+  end
   else begin
+    Metric.Counter.incr c_cache_misses;
     let c = Cost.agent_edge_cost t.host t.profile u +. Incr_apsp.dist_sum t.apsp u in
     Array.unsafe_set t.costs u c;
     Bytes.unsafe_set t.cost_valid u '\001';
@@ -85,6 +97,7 @@ let record_pair t a b =
 
 let drain_changes t =
   let rows = t.pending_rows and pairs = t.pending_pairs and full = t.pending_full in
+  Metric.Histogram.observe h_report_rows (float_of_int (Changed_rows.cardinal rows));
   t.pending_rows <- Changed_rows.create (Host.n t.host);
   t.pending_pairs <- [];
   t.pending_full <- false;
@@ -105,6 +118,7 @@ let net_add t a b =
 let net_remove t a b = invalidate_rows t (Incr_apsp.remove_edge t.apsp a b)
 
 let apply_move t ~agent mv =
+  Metric.Counter.incr c_moves_applied;
   let s = t.profile in
   let s' = Move.apply s ~agent mv in
   (match mv with

@@ -109,10 +109,14 @@ let sssp_bounded g s limit = fst (run ~limit g s)
 
 let distance g u v = (sssp g u).(v)
 
-let apsp g = Array.init (Wgraph.n g) (fun s -> sssp g s)
+let apsp ?(exec = Gncg_util.Exec.Seq) g =
+  Gncg_util.Exec.init ~exec (Wgraph.n g) (fun s -> sssp g s)
 
-let apsp_parallel ?domains g =
-  Gncg_util.Parallel.init ?domains (Wgraph.n g) (fun s -> sssp g s)
+(* BEGIN deprecated _parallel aliases *)
+
+let apsp_parallel ?domains g = apsp ~exec:(Gncg_util.Exec.Par { domains }) g
+
+(* END deprecated _parallel aliases *)
 
 let path g u v =
   let dist, parent = run g u in
@@ -133,7 +137,8 @@ let eccentricities ?domains g =
   if n = 0 then [||]
   else begin
     let rows =
-      if n >= parallel_threshold then apsp_parallel ?domains g else apsp g
+      if n >= parallel_threshold then apsp ~exec:(Gncg_util.Exec.Par { domains }) g
+      else apsp g
     in
     Array.map Gncg_util.Flt.max_array rows
   end

@@ -39,12 +39,18 @@ val sssp_bounded : Wgraph.t -> int -> float -> float array
 
 val distance : Wgraph.t -> int -> int -> float
 
-val apsp : Wgraph.t -> float array array
-(** All-pairs shortest paths by repeated Dijkstra: O(n (m + n log n)). *)
+val apsp : ?exec:Gncg_util.Exec.t -> Wgraph.t -> float array array
+(** All-pairs shortest paths by repeated Dijkstra: O(n (m + n log n)).
+    Defaults to [Exec.Seq]; under [Par] the sources are split across
+    OCaml 5 domains (the graph must not be mutated concurrently), with
+    an identical result. *)
+
+(* BEGIN deprecated _parallel aliases *)
 
 val apsp_parallel : ?domains:int -> Wgraph.t -> float array array
-(** Same result with the sources split across OCaml 5 domains.  The graph
-    must not be mutated concurrently. *)
+[@@ocaml.deprecated "Use Dijkstra.apsp ?exec:(Par { domains }) instead."]
+
+(* END deprecated _parallel aliases *)
 
 val path : Wgraph.t -> int -> int -> int list option
 (** Vertex sequence of one shortest path from [u] to [v], inclusive. *)

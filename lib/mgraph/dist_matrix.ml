@@ -4,6 +4,11 @@
    update needs are preallocated workspaces blitted into place — an
    [add_edge] allocates nothing. *)
 
+module Metric = Gncg_obs.Metric
+
+let c_insertions = Metric.Counter.make "dist_matrix.insertions"
+let c_whatif_totals = Metric.Counter.make "dist_matrix.whatif_totals"
+
 type t = {
   n : int;
   d : Float.Array.t;        (* n*n, index u*n+v *)
@@ -78,6 +83,7 @@ let copy t =
 let add_edge t u v w =
   check t u "add_edge";
   check t v "add_edge";
+  Metric.Counter.incr c_insertions;
   if u = v then invalid_arg "Dist_matrix.add_edge: self-loop";
   if w < 0.0 || Float.is_nan w then invalid_arg "Dist_matrix.add_edge: negative weight";
   let n = t.n in
@@ -110,6 +116,7 @@ let with_edge_added t u v w =
 let total_with_edge_added t u v w =
   check t u "total_with_edge_added";
   check t v "total_with_edge_added";
+  Metric.Counter.incr c_whatif_totals;
   let n = t.n in
   if w >= Float.Array.get t.d ((u * n) + v) then total t
   else begin

@@ -3,6 +3,17 @@
    update reports the set of source rows whose distances changed, so the
    layers above can invalidate per-agent state selectively. *)
 
+module Metric = Gncg_obs.Metric
+
+(* Layer-1 probes: one flag read + branch each when profiling is off. *)
+let c_insertions = Metric.Counter.make "incr_apsp.insertions"
+let c_rows_relaxed = Metric.Counter.make "incr_apsp.rows_relaxed"
+let c_rows_changed = Metric.Counter.make "incr_apsp.rows_changed"
+let c_deletions = Metric.Counter.make "incr_apsp.deletions"
+let c_deletion_rows_recomputed = Metric.Counter.make "incr_apsp.deletion_rows_recomputed"
+let c_whatif_sssp = Metric.Counter.make "incr_apsp.whatif_sssp"
+let c_add_kernels = Metric.Counter.make "incr_apsp.add_kernels"
+
 type t = {
   g : Wgraph.t;
   n : int;
@@ -85,6 +96,7 @@ let dist_sum t u =
 let dist_sum_with_edge t u v w =
   check t u "dist_sum_with_edge";
   check t v "dist_sum_with_edge";
+  Metric.Counter.incr c_add_kernels;
   (* Σ_x min(d(u,x), w + d(v,x)) — the mover's distance sum after buying
      edge (u,v): any shortest path through the new edge starts with it. *)
   let ubase = u * t.n and vbase = v * t.n in
@@ -108,6 +120,7 @@ let dist_sum_with_edge t u v w =
 
 let min_sum_against t r v w =
   check t v "min_sum_against";
+  Metric.Counter.incr c_add_kernels;
   if Array.length r < t.n then invalid_arg "Incr_apsp.min_sum_against: row too short";
   (* Σ_x min(r.(x), w + d(v,x)) — insertion relaxation of a caller-held
      row (e.g. a deletion what-if) against a live matrix row. *)
@@ -135,9 +148,11 @@ let add_edge t u v w =
   check t v "add_edge";
   if Wgraph.has_edge t.g u v then invalid_arg "Incr_apsp.add_edge: edge already present";
   Wgraph.add_edge t.g u v w;
+  Metric.Counter.incr c_insertions;
   let n = t.n in
   let changed = Changed_rows.create n in
   if w < Float.Array.get t.d ((u * n) + v) then begin
+    Metric.Counter.add c_rows_relaxed n;
     (* Rows u and v are read while every row (incl. themselves) is being
        written: snapshot them into the preallocated workspaces first.  A
        row is reported as changed exactly when some entry strictly
@@ -160,7 +175,8 @@ let add_edge t u v w =
         end
       done;
       if !touched then Changed_rows.add changed x
-    done
+    done;
+    Metric.Counter.add c_rows_changed (Changed_rows.cardinal changed)
   end;
   changed
 
@@ -173,6 +189,7 @@ let remove_edge t u v =
   | None -> t.last_recomputed <- 0
   | Some w ->
     Wgraph.remove_edge t.g u v;
+    Metric.Counter.incr c_deletions;
     (* A shortest path from s can use (u,v) only if the edge is tight on
        s's row: d(s,u) + w = d(s,v) (or symmetrically).  Tightness is
        tested with the engine tolerance, not exact equality — rows
@@ -206,7 +223,9 @@ let remove_edge t u v =
         incr recomputed
       end
     done;
-    t.last_recomputed <- !recomputed);
+    t.last_recomputed <- !recomputed;
+    Metric.Counter.add c_deletion_rows_recomputed !recomputed;
+    Metric.Counter.add c_rows_changed (Changed_rows.cardinal changed));
   changed
 
 let last_deletion_recomputed t = t.last_recomputed
@@ -239,6 +258,7 @@ let with_edits t ?remove ?add f =
 
 let sssp_edited_into t ?remove ?add source dst =
   check t source "sssp_edited_into";
+  Metric.Counter.incr c_whatif_sssp;
   with_edits t ?remove ?add (fun () -> Dijkstra.sssp_into t.ws t.g source dst)
 
 let sssp_edited t ?remove ?add source =
@@ -249,6 +269,7 @@ let sssp_edited t ?remove ?add source =
 
 let sssp_edited_sum t ?remove ?add source =
   check t source "sssp_edited_sum";
+  Metric.Counter.incr c_whatif_sssp;
   with_edits t ?remove ?add (fun () ->
       Dijkstra.sssp_into t.ws t.g source t.scratch;
       Gncg_util.Flt.sum t.scratch)

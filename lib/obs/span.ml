@@ -1,0 +1,35 @@
+type probe = { name : string; hist : Metric.Histogram.t }
+
+let probe name = { name; hist = Metric.Histogram.make ("span." ^ name) }
+
+let record p ~fields ~t0 =
+  let dur = Clock.now_ns () -. t0 in
+  if Metric.enabled () then Metric.Histogram.observe p.hist dur;
+  if Sink.active () then begin
+    let fields = match fields with None -> [] | Some f -> f () in
+    Sink.emit
+      {
+        Sink.kind = "span";
+        name = p.name;
+        t_ns = t0;
+        fields = fields @ [ ("dur_ns", Sink.Float dur) ];
+      }
+  end
+
+let with_probe ?fields p f =
+  if not (Metric.enabled () || Sink.active ()) then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    match f () with
+    | v ->
+      record p ~fields ~t0;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      record p ~fields ~t0;
+      Printexc.raise_with_backtrace e bt
+  end
+
+let with_ ?fields name f =
+  if not (Metric.enabled () || Sink.active ()) then f ()
+  else with_probe ?fields (probe name) f

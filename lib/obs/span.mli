@@ -1,0 +1,24 @@
+(** Timed regions.
+
+    A span measures one region of engine work (a dynamics step, an
+    equilibrium scan, a scheduler job).  When neither profiling nor a
+    sink is active, {!with_} runs its body with no clock read at all —
+    the check is two flag loads.  When active, the duration lands in the
+    ["span.<name>"] histogram (profiling) and/or is emitted as a
+    ["span"] event (sink), with [dur_ns] appended to the caller's
+    fields. *)
+
+type probe
+(** A pre-registered span name: resolves the histogram once so hot
+    loops don't re-enter the metric registry per iteration. *)
+
+val probe : string -> probe
+
+val with_probe : ?fields:(unit -> (string * Sink.value) list) -> probe -> (unit -> 'a) -> 'a
+(** Times [f] against the probe.  [fields] is only evaluated when a
+    sink is active.  Exceptions propagate; the span is still recorded
+    (with the partial duration) so traces show where a run died. *)
+
+val with_ : ?fields:(unit -> (string * Sink.value) list) -> string -> (unit -> 'a) -> 'a
+(** [with_ name f] = [with_probe (probe name) f] without caching — fine
+    for coarse regions (whole runs, scheduler jobs). *)

@@ -2,7 +2,7 @@ module Instances = Gncg_workload.Instances
 
 type rule = Best_response | Greedy_response | Add_only
 
-type evaluator = [ `Reference | `Fast | `Incremental ]
+type evaluator = Gncg.Evaluator.t
 
 type spec = {
   model : Instances.model;
@@ -34,16 +34,9 @@ let rule_of_string = function
   | "add-only" -> Ok Add_only
   | s -> Error (Printf.sprintf "unknown rule %S (best | greedy | add-only)" s)
 
-let evaluator_to_string = function
-  | `Reference -> "reference"
-  | `Fast -> "fast"
-  | `Incremental -> "incremental"
+let evaluator_to_string = Gncg.Evaluator.to_string
 
-let evaluator_of_string = function
-  | "reference" -> Ok `Reference
-  | "fast" -> Ok `Fast
-  | "incremental" -> Ok `Incremental
-  | s -> Error (Printf.sprintf "unknown evaluator %S (reference | fast | incremental)" s)
+let evaluator_of_string = Gncg.Evaluator.of_string
 
 (* --- model encoding ---------------------------------------------------- *)
 

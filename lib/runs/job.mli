@@ -14,7 +14,8 @@ type rule = Best_response | Greedy_response | Add_only
     carries live generator state and is deliberately excluded — a job
     must be reproducible from its spec alone. *)
 
-type evaluator = [ `Reference | `Fast | `Incremental ]
+type evaluator = Gncg.Evaluator.t
+(** = [[ `Reference | `Fast | `Incremental ]]; the shared engine type. *)
 
 type spec = {
   model : Gncg_workload.Instances.model;

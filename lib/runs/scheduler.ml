@@ -1,4 +1,22 @@
 module Ws_deque = Gncg_util.Ws_deque
+module Metric = Gncg_obs.Metric
+
+(* Layer-4 probes: job throughput and the scheduler's failure/steal
+   accounting.  Counters are atomic, so the parallel workers can bump
+   them concurrently; the per-job span event carries outcome and
+   attempts. *)
+let c_jobs = Metric.Counter.make "runs.jobs_executed"
+let c_steals = Metric.Counter.make "runs.steals"
+let c_retries = Metric.Counter.make "runs.retries"
+let c_timeouts = Metric.Counter.make "runs.timeouts"
+let c_crashes = Metric.Counter.make "runs.crashes"
+let h_job_s = Metric.Histogram.make "runs.job_seconds"
+
+let outcome_label = function
+  | `Completed -> "completed"
+  | `Diverged -> "diverged"
+  | `Timeout -> "timeout"
+  | `Crashed -> "crashed"
 
 type 'r outcome =
   | Completed of 'r
@@ -16,6 +34,35 @@ type 'r report = { outcome : 'r outcome; attempts : int; elapsed : float }
 
 (* One job, with the budget / retry / divergence classification.  Shared
    verbatim by the parallel and sequential runners so they cannot drift. *)
+let observe_report report =
+  Metric.Counter.incr c_jobs;
+  Metric.Histogram.observe h_job_s report.elapsed;
+  if report.attempts > 1 then Metric.Counter.add c_retries (report.attempts - 1);
+  let tag =
+    match report.outcome with
+    | Completed _ -> `Completed
+    | Diverged _ -> `Diverged
+    | Timeout ->
+      Metric.Counter.incr c_timeouts;
+      `Timeout
+    | Crashed _ ->
+      Metric.Counter.incr c_crashes;
+      `Crashed
+  in
+  if Gncg_obs.Sink.active () then
+    Gncg_obs.Sink.emit
+      {
+        Gncg_obs.Sink.kind = "span";
+        name = "runs.job";
+        t_ns = Gncg_obs.Clock.now_ns () -. (report.elapsed *. 1e9);
+        fields =
+          [
+            ("outcome", Gncg_obs.Sink.Str (outcome_label tag));
+            ("attempts", Gncg_obs.Sink.Int report.attempts);
+            ("dur_ns", Gncg_obs.Sink.Float (report.elapsed *. 1e9));
+          ];
+      }
+
 let attempt ~budget ~retries ~diverged exec job =
   let rec go attempt_no =
     let t0 = Unix.gettimeofday () in
@@ -33,7 +80,9 @@ let attempt ~budget ~retries ~diverged exec job =
       if attempt_no <= retries then go (attempt_no + 1)
       else { outcome = Crashed (Printexc.to_string e); attempts = attempt_no; elapsed }
   in
-  go 1
+  let report = go 1 in
+  observe_report report;
+  report
 
 let run_sequential ?(budget = Float.infinity) ?(retries = 0)
     ?(diverged = fun _ -> false) ?(on_result = fun _ _ -> ()) exec jobs =
@@ -74,7 +123,9 @@ let run ?domains ?(budget = Float.infinity) ?(retries = 0) ?(diverged = fun _ ->
             if k >= domains then None
             else
               match Ws_deque.steal deques.((w + k) mod domains) with
-              | Some i -> Some i
+              | Some i ->
+                Metric.Counter.incr c_steals;
+                Some i
               | None -> scan (k + 1)
           in
           scan 1

@@ -1,0 +1,54 @@
+type t =
+  | Seq
+  | Par of { domains : int option }
+
+let seq = Seq
+
+let par ?domains () = Par { domains }
+
+let default = Par { domains = None }
+
+let of_string s =
+  match s with
+  | "seq" -> Ok Seq
+  | "par" -> Ok (Par { domains = None })
+  | _ ->
+    (match String.index_opt s ':' with
+    | Some i when String.sub s 0 i = "par" -> (
+      let k = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt k with
+      | Some d when d >= 1 -> Ok (Par { domains = Some d })
+      | _ -> Error (Printf.sprintf "invalid domain count %S (want par:K, K >= 1)" k))
+    | _ -> Error (Printf.sprintf "invalid execution strategy %S (want seq, par or par:K)" s))
+
+let to_string = function
+  | Seq -> "seq"
+  | Par { domains = None } -> "par"
+  | Par { domains = Some d } -> Printf.sprintf "par:%d" d
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let domain_count = function
+  | Seq -> 1
+  | Par { domains = Some d } -> max 1 d
+  | Par { domains = None } -> Parallel.default_domains ()
+
+let init ~exec n f =
+  match exec with
+  | Seq -> Array.init n f
+  | Par { domains } -> Parallel.init ?domains n f
+
+let map_array ~exec f a =
+  match exec with
+  | Seq -> Array.map f a
+  | Par { domains } -> Parallel.map_array ?domains f a
+
+let for_all ~exec n pred =
+  match exec with
+  | Seq ->
+    if n < 0 then invalid_arg "Exec.for_all";
+    let rec go i = i >= n || (pred i && go (i + 1)) in
+    go 0
+  | Par { domains } -> Parallel.for_all ?domains n pred
+
+let exists ~exec n pred = not (for_all ~exec n (fun i -> not (pred i)))

@@ -1,0 +1,46 @@
+(** Execution strategy: the single knob that replaced the deprecated
+    per-function parallel twins.
+
+    Every scan that used to ship as a sequential/parallel pair now
+    takes [?exec:Exec.t]: [Seq] is the historical sequential code path
+    (deterministic evaluation order, useful under a debugger and for
+    bit-exact float sums), [Par] fans out over OCaml domains via
+    {!Parallel}.  [Par { domains = None }] uses
+    {!Parallel.default_domains}, so [--domains] keeps working
+    unchanged. *)
+
+type t =
+  | Seq
+  | Par of { domains : int option }
+
+val seq : t
+
+val par : ?domains:int -> unit -> t
+
+val default : t
+(** [Par { domains = None }] — the historical default for call sites
+    that always parallelized (the CLI verbs). *)
+
+val of_string : string -> (t, string) result
+(** ["seq"], ["par"], or ["par:K"] with [K >= 1]. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val domain_count : t -> int
+(** [Seq] → 1; [Par { domains = Some d }] → [d];
+    [Par { domains = None }] → {!Parallel.default_domains}[ ()]. *)
+
+(** {1 Combinators}
+
+    Same contracts as the {!Parallel} equivalents; under [Seq] they are
+    the plain sequential [Array.init] / left-to-right scans. *)
+
+val init : exec:t -> int -> (int -> 'a) -> 'a array
+
+val map_array : exec:t -> ('a -> 'b) -> 'a array -> 'b array
+
+val for_all : exec:t -> int -> (int -> bool) -> bool
+
+val exists : exec:t -> int -> (int -> bool) -> bool

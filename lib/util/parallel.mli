@@ -2,7 +2,7 @@
 
     The engine's hot loops (all-pairs shortest paths, per-agent cost sums,
     seed sweeps) are embarrassingly parallel: this module provides the
-    fork-join skeleton used by their [_parallel] variants.  Work is split
+    fork-join skeleton behind {!Exec.Par}.  Work is split
     into contiguous chunks, one domain per chunk; results land in a
     pre-allocated array, so no synchronization beyond [Domain.join] is
     needed.  Callers must ensure [f] only *reads* shared structures. *)

@@ -20,7 +20,7 @@ type run = {
 val dynamics_run :
   ?rule:Gncg.Dynamics.rule ->
   ?max_steps:int ->
-  ?evaluator:[ `Reference | `Fast | `Incremental ] ->
+  ?evaluator:Gncg.Evaluator.t ->
   Instances.model ->
   n:int ->
   alpha:float ->
@@ -41,7 +41,7 @@ val cartesian :
 val dynamics_batch :
   ?rule:Gncg.Dynamics.rule ->
   ?max_steps:int ->
-  ?evaluator:[ `Reference | `Fast | `Incremental ] ->
+  ?evaluator:Gncg.Evaluator.t ->
   Instances.model ->
   ns:int list ->
   alphas:float list ->

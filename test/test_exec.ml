@@ -1,0 +1,200 @@
+(* The unified execution API (Gncg_util.Exec): parsing, the Seq/Par
+   combinators, and — the migration contract — that every deprecated
+   [_parallel] alias is extensionally equal to its [?exec] replacement.
+   The aliases are one-line wrappers by construction; these properties
+   pin that down so the wrappers can be deleted in a later PR without
+   re-auditing call sites. *)
+
+[@@@alert "-deprecated"]
+(* This file deliberately calls the deprecated aliases: equality with
+   the ?exec replacements is exactly what is under test. *)
+
+module Exec = Gncg_util.Exec
+
+let host_of_seed ~n seed =
+  let rng = Gncg_util.Prng.create (1 + seed) in
+  Gncg.Host.make ~alpha:2.0
+    (Gncg_metric.Random_host.uniform_metric rng ~n ~lo:1.0 ~hi:5.0)
+
+let instance ~n seed =
+  let host = host_of_seed ~n seed in
+  let rng = Gncg_util.Prng.create (1000 + seed) in
+  (host, Gncg_workload.Instances.random_profile rng host)
+
+let test_of_string () =
+  let ok s e = Alcotest.(check bool) s true (Exec.of_string s = Ok e) in
+  ok "seq" Exec.Seq;
+  ok "par" (Exec.Par { domains = None });
+  ok "par:3" (Exec.Par { domains = Some 3 });
+  let bad s =
+    Alcotest.(check bool) (s ^ " rejected") true
+      (match Exec.of_string s with Error _ -> true | Ok _ -> false)
+  in
+  bad "par:0";
+  bad "par:-2";
+  bad "par:x";
+  bad "sequential";
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        ("roundtrip " ^ Exec.to_string e)
+        true
+        (Exec.of_string (Exec.to_string e) = Ok e))
+    [ Exec.Seq; Exec.par (); Exec.par ~domains:5 () ]
+
+let test_domain_count () =
+  Alcotest.(check int) "Seq is one domain" 1 (Exec.domain_count Exec.Seq);
+  Alcotest.(check int) "explicit Par count" 4
+    (Exec.domain_count (Exec.Par { domains = Some 4 }));
+  Alcotest.(check int) "Par None follows the process default"
+    (Gncg_util.Parallel.default_domains ())
+    (Exec.domain_count (Exec.Par { domains = None }))
+
+let test_combinators () =
+  let n = 103 in
+  let f i = (i * 37) mod 11 in
+  List.iter
+    (fun exec ->
+      Alcotest.(check bool) "init agrees with Array.init" true
+        (Exec.init ~exec n f = Array.init n f);
+      Alcotest.(check bool) "for_all agrees" true
+        (Exec.for_all ~exec n (fun i -> f i < 11));
+      Alcotest.(check bool) "exists agrees" true
+        (Exec.exists ~exec n (fun i -> f i = 10)
+        = Array.exists (fun x -> x = 10) (Array.init n f)))
+    [ Exec.Seq; Exec.Par { domains = Some 3 } ]
+
+(* Each property seeds an instance, then demands exact (structural)
+   equality between the alias and its ?exec replacement: both sides run
+   the same code path, so even float results must agree bitwise. *)
+let alias_props =
+  let gen = QCheck.(pair (int_range 5 10) small_nat) in
+  let prop name f = QCheck.Test.make ~count:15 ~name gen f in
+  [
+    prop "is_ae_parallel ≡ is_ae ?exec" (fun (n, seed) ->
+        let host, s = instance ~n seed in
+        Gncg.Equilibrium.is_ae_parallel ~domains:3 host s
+        = Gncg.Equilibrium.is_ae ~exec:(Exec.Par { domains = Some 3 }) host s);
+    prop "is_ge_parallel ≡ is_ge ?exec" (fun (n, seed) ->
+        let host, s = instance ~n seed in
+        Gncg.Equilibrium.is_ge_parallel ~domains:3 host s
+        = Gncg.Equilibrium.is_ge ~exec:(Exec.Par { domains = Some 3 }) host s);
+    prop "is_ne_parallel ≡ is_ne ?exec" (fun (n, seed) ->
+        let n = min n 7 in
+        let host, s = instance ~n seed in
+        Gncg.Equilibrium.is_ne_parallel ~domains:2 host s
+        = Gncg.Equilibrium.is_ne ~exec:(Exec.Par { domains = Some 2 }) host s);
+    prop "is_equilibrium_parallel ≡ is_equilibrium ?exec" (fun (n, seed) ->
+        let host, s = instance ~n seed in
+        List.for_all
+          (fun kind ->
+            Gncg.Equilibrium.is_equilibrium_parallel ~domains:3 kind host s
+            = Gncg.Equilibrium.is_equilibrium ~exec:(Exec.Par { domains = Some 3 }) kind
+                host s)
+          [ Gncg.Equilibrium.AE; Gncg.Equilibrium.GE ]);
+    prop "unhappy_agents_parallel ≡ unhappy_agents ?exec" (fun (n, seed) ->
+        let host, s = instance ~n seed in
+        Gncg.Equilibrium.unhappy_agents_parallel ~domains:3 Gncg.Equilibrium.GE host s
+        = Gncg.Equilibrium.unhappy_agents ~exec:(Exec.Par { domains = Some 3 })
+            Gncg.Equilibrium.GE host s);
+    prop "certify_parallel ≡ certify ?exec" (fun (n, seed) ->
+        let host, s = instance ~n seed in
+        Gncg.Equilibrium.certify_parallel ~domains:3 Gncg.Equilibrium.GE host s
+        = Gncg.Equilibrium.certify ~exec:(Exec.Par { domains = Some 3 })
+            Gncg.Equilibrium.GE host s);
+    prop "social_cost_parallel ≡ social_cost ?exec" (fun (n, seed) ->
+        let host, s = instance ~n seed in
+        Gncg.Cost.social_cost_parallel ~domains:3 host s
+        = Gncg.Cost.social_cost ~exec:(Exec.Par { domains = Some 3 }) host s);
+    prop "network_social_cost_parallel ≡ network_social_cost ?exec" (fun (n, seed) ->
+        let host, s = instance ~n seed in
+        let g = Gncg.Network.graph host s in
+        Gncg.Cost.network_social_cost_parallel ~domains:3 host g
+        = Gncg.Cost.network_social_cost ~exec:(Exec.Par { domains = Some 3 }) host g);
+    prop "apsp_parallel ≡ apsp ?exec" (fun (n, seed) ->
+        let host, s = instance ~n seed in
+        let g = Gncg.Network.graph host s in
+        Gncg_graph.Dijkstra.apsp_parallel ~domains:3 g
+        = Gncg_graph.Dijkstra.apsp ~exec:(Exec.Par { domains = Some 3 }) g);
+  ]
+
+(* Seq and Par must agree on every boolean/structural verdict (float
+   sums may differ in the last ulps, hence the tolerance on costs). *)
+let prop_seq_par_agree =
+  QCheck.Test.make ~count:15 ~name:"Seq and Par verdicts agree"
+    QCheck.(pair (int_range 5 10) small_nat)
+    (fun (n, seed) ->
+      let host, s = instance ~n seed in
+      let par = Exec.Par { domains = Some 3 } in
+      Gncg.Equilibrium.is_ge host s = Gncg.Equilibrium.is_ge ~exec:par host s
+      && Gncg.Equilibrium.unhappy_agents Gncg.Equilibrium.GE host s
+         = Gncg.Equilibrium.unhappy_agents ~exec:par Gncg.Equilibrium.GE host s
+      && Gncg_util.Flt.approx_eq ~tol:1e-9
+           (Gncg.Cost.social_cost host s)
+           (Gncg.Cost.social_cost ~exec:par host s))
+
+(* All three tracker evaluators must produce identical verdicts, both on
+   the initial scan and across refreshes after local perturbations. *)
+let prop_tracker_evaluators_agree =
+  QCheck.Test.make ~count:15 ~name:"tracker evaluators agree"
+    QCheck.(pair (int_range 5 10) small_nat)
+    (fun (n, seed) ->
+      let host, s = instance ~n seed in
+      let trackers =
+        List.map
+          (fun evaluator ->
+            Gncg.Equilibrium.Tracker.create ~evaluator Gncg.Equilibrium.GE
+              (Gncg.Net_state.create host s))
+          [ `Incremental; `Fast; `Reference ]
+      in
+      let agree () =
+        match
+          List.map
+            (fun t ->
+              ( Gncg.Equilibrium.Tracker.is_equilibrium t,
+                Gncg.Equilibrium.Tracker.unhappy t ))
+            trackers
+        with
+        | v :: rest -> List.for_all (( = ) v) rest
+        | [] -> true
+      in
+      let initial = agree () in
+      (* Perturb: agent 0 buys some currently-absent edge, everyone
+         refreshes, then the move is undone. *)
+      let target =
+        let st = Gncg.Equilibrium.Tracker.state (List.hd trackers) in
+        let rec find v =
+          if v >= n then None
+          else if Gncg.Move.addable host (Gncg.Net_state.profile st) ~agent:0 v then Some v
+          else find (v + 1)
+        in
+        find 1
+      in
+      let perturbed =
+        match target with
+        | None -> true
+        | Some v ->
+          List.iter
+            (fun t ->
+              let st = Gncg.Equilibrium.Tracker.state t in
+              ignore (Gncg.Net_state.apply_move st ~agent:0 (Gncg.Move.Add v));
+              Gncg.Equilibrium.Tracker.refresh t)
+            trackers;
+          agree ()
+      in
+      initial && perturbed)
+
+let suites =
+  [
+    ( "exec",
+      [
+        Alcotest.test_case "of_string / to_string" `Quick test_of_string;
+        Alcotest.test_case "domain_count" `Quick test_domain_count;
+        Alcotest.test_case "combinators vs sequential" `Quick test_combinators;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest alias_props
+      @ [
+          QCheck_alcotest.to_alcotest prop_seq_par_agree;
+          QCheck_alcotest.to_alcotest prop_tracker_evaluators_agree;
+        ] );
+  ]

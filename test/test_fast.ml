@@ -126,7 +126,7 @@ let test_apsp_parallel_matches () =
   let r = rng 1104 in
   let g = random_graph r 25 40 in
   let seq = Gncg_graph.Dijkstra.apsp g in
-  let par = Gncg_graph.Dijkstra.apsp_parallel ~domains:4 g in
+  let par = Gncg_graph.Dijkstra.apsp ~exec:(Gncg_util.Exec.Par { domains = Some 4 }) g in
   for u = 0 to 24 do
     Alcotest.(check (array (float 1e-9))) "row matches" seq.(u) par.(u)
   done
@@ -134,13 +134,14 @@ let test_apsp_parallel_matches () =
 let test_social_cost_parallel_matches () =
   let r = rng 1105 in
   let host, s = random_setup r ~n:12 in
+  let exec = Gncg_util.Exec.Par { domains = Some 4 } in
   check_float ~tol:1e-6 "social cost matches"
     (Gncg.Cost.social_cost host s)
-    (Gncg.Cost.social_cost_parallel ~domains:4 host s);
+    (Gncg.Cost.social_cost ~exec host s);
   let g = Gncg.Network.graph host s in
   check_float ~tol:1e-6 "network cost matches"
     (Gncg.Cost.network_social_cost host g)
-    (Gncg.Cost.network_social_cost_parallel ~domains:4 host g)
+    (Gncg.Cost.network_social_cost ~exec host g)
 
 let suites =
   [

@@ -3,6 +3,10 @@
    Change reports are compared bitwise against before/after matrix
    diffs: the report must name exactly the rows that differ. *)
 
+(* [fresh_metrics] is deprecated in favor of the obs counters, but the
+   per-run record is exactly what these skip-accounting tests need. *)
+[@@@alert "-deprecated"]
+
 module Prng = Gncg_util.Prng
 module Flt = Gncg_util.Flt
 module Wgraph = Gncg_graph.Wgraph

@@ -136,16 +136,17 @@ let prop_incremental_dynamics_converge_to_ge seed =
 (* Parallel equilibrium scans return the sequential verdicts. *)
 let prop_parallel_checks_agree seed =
   let _, host, s = random_game (seed + 107) ~n:6 in
-  Gncg.Equilibrium.is_ae host s = Gncg.Equilibrium.is_ae_parallel ~domains:3 host s
-  && Gncg.Equilibrium.is_ge host s = Gncg.Equilibrium.is_ge_parallel ~domains:3 host s
-  && Gncg.Equilibrium.is_ne host s = Gncg.Equilibrium.is_ne_parallel ~domains:3 host s
+  let exec = Gncg_util.Exec.Par { domains = Some 3 } in
+  Gncg.Equilibrium.is_ae host s = Gncg.Equilibrium.is_ae ~exec host s
+  && Gncg.Equilibrium.is_ge host s = Gncg.Equilibrium.is_ge ~exec host s
+  && Gncg.Equilibrium.is_ne host s = Gncg.Equilibrium.is_ne ~exec host s
 
 let prop_parallel_unhappy_agree seed =
   let _, host, s = random_game (seed + 108) ~n:6 in
   List.for_all
     (fun kind ->
       Gncg.Equilibrium.unhappy_agents kind host s
-      = Gncg.Equilibrium.unhappy_agents_parallel ~domains:3 kind host s)
+      = Gncg.Equilibrium.unhappy_agents ~exec:(Gncg_util.Exec.Par { domains = Some 3 }) kind host s)
     [ Gncg.Equilibrium.NE; Gncg.Equilibrium.GE; Gncg.Equilibrium.AE ]
 
 let prop_parallel_certify_agree seed =
@@ -153,7 +154,8 @@ let prop_parallel_certify_agree seed =
   List.for_all
     (fun kind ->
       match
-        (Gncg.Equilibrium.certify kind host s, Gncg.Equilibrium.certify_parallel ~domains:3 kind host s)
+        ( Gncg.Equilibrium.certify kind host s,
+          Gncg.Equilibrium.certify ~exec:(Gncg_util.Exec.Par { domains = Some 3 }) kind host s )
       with
       | Ok (), Ok () -> true
       | Error gs, Error gs' ->

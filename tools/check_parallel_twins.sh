@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Lint: the `_parallel` API twins are deprecated in favour of the single
+# `?exec` parameter (lib/util/exec.mli).  New `_parallel` entry points in
+# lib/ may only appear inside the explicitly fenced alias blocks:
+#
+#   (* BEGIN deprecated _parallel aliases *)
+#   ...
+#   (* END deprecated _parallel aliases *)
+#
+# Any occurrence in an .mli outside such a block, or any new definition
+# (`let`/`val` whose name ends in `_parallel`) in an .ml outside such a
+# block, fails the build (`dune build @lint`).
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+status=0
+
+# Prints offending "file:line:text" occurrences of a pattern in a file,
+# ignoring lines between the BEGIN/END marker comments.
+check_file() {
+  local file="$1" pattern="$2"
+  awk -v pat="$pattern" -v file="$file" '
+    /BEGIN deprecated _parallel aliases/ { fenced = 1 }
+    /END deprecated _parallel aliases/   { fenced = 0; next }
+    !fenced && $0 ~ pat { printf "%s:%d:%s\n", file, NR, $0 }
+  ' "$file"
+}
+
+# Interface files: no mention of _parallel at all outside the fence
+# (values, doc comments steering users to the twins, anything).
+while IFS= read -r f; do
+  out="$(check_file "$f" '_parallel')"
+  if [ -n "$out" ]; then
+    printf '%s\n' "$out"
+    status=1
+  fi
+done < <(find lib -name '*.mli' | sort)
+
+# Implementation files: no new definitions outside the fence.  Call
+# sites referencing Parallel.* combinators or local helpers are fine.
+while IFS= read -r f; do
+  out="$(check_file "$f" '^[[:space:]]*(let|and)[[:space:]]+[a-z_]*_parallel\>')"
+  if [ -n "$out" ]; then
+    printf '%s\n' "$out"
+    status=1
+  fi
+done < <(find lib -name '*.ml' | sort)
+
+if [ "$status" -ne 0 ]; then
+  echo "check_parallel_twins: _parallel entry points outside the deprecated-alias fences (use ?exec, see lib/util/exec.mli)" >&2
+  exit 1
+fi
+echo "check_parallel_twins: ok"
