@@ -145,7 +145,9 @@ let run ~path =
         start
     with
     | Gncg.Dynamics.Converged { profile; _ } -> profile
-    | _ -> failwith "bench4: macro dynamics did not converge"
+    | _ ->
+      prerr_endline "bench4: macro dynamics did not converge";
+      exit 1
   in
   let dyn_ns, dyn_words = wall ~reps:5 converge in
   let ge = converge () in

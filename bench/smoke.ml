@@ -71,17 +71,93 @@ let validate_bench_json path =
   Printf.printf "bench-smoke: %s valid (%d results, %.2fx vs baseline)\n%!" path
     (List.length results) speedup
 
+(* Chaos smoke (`--chaos`): a seeded fault-injection batch must classify
+   faults exactly as the plan predicts, recover flaky jobs through
+   retries, and resume cleanly across a torn journal. *)
+let chaos_smoke () =
+  let module R = Gncg_runs in
+  let config =
+    R.Batch.config
+      (Gncg_workload.Instances.Tree { wmin = 1.0; wmax = 5.0 })
+      ~ns:[ 5; 6 ] ~alphas:[ 1.0; 3.0 ] ~seeds:[ 1; 2; 3 ]
+  in
+  let plan = R.Chaos.plan ~seed:42 ~crash_p:0.4 ~fault_attempts:1 () in
+  let jobs = R.Batch.jobs config in
+  let predicted_crashes =
+    List.length
+      (List.filter
+         (fun j -> R.Chaos.decide plan ~key:(R.Job.hash j) ~attempt:1 = Some R.Chaos.Crash)
+         jobs)
+  in
+  if predicted_crashes = 0 then fail "chaos plan injected nothing; bump crash_p";
+  (* No retries: every injected crash must surface as Crashed. *)
+  let no_retry =
+    R.Batch.run ~retries:0
+      ~exec:(R.Chaos.wrap plan ~key:R.Job.hash R.Job.execute)
+      config
+  in
+  if no_retry.progress.crashed <> predicted_crashes then
+    fail "chaos: %d crashes predicted, %d observed" predicted_crashes
+      no_retry.progress.crashed;
+  (* One retry outlasts fault_attempts = 1: the same plan must now
+     complete everything, with the retry pressure on record. *)
+  let journal = Filename.temp_file "gncg_chaos" ".jsonl" in
+  let retried =
+    R.Batch.run ~retries:1
+      ~exec:(R.Chaos.wrap plan ~key:R.Job.hash R.Job.execute)
+      ~journal config
+  in
+  if retried.progress.crashed <> 0 then
+    fail "chaos: %d jobs still crashed with retries" retried.progress.crashed;
+  if retried.progress.retries < predicted_crashes then
+    fail "chaos: retry attempts under-counted (%d < %d)" retried.progress.retries
+      predicted_crashes;
+  (* Tear the journal the way a kill -9 does; resume must re-execute
+     exactly the one job whose terminal entry was destroyed. *)
+  R.Chaos.truncate_last_line journal;
+  (match R.Batch.resume ~journal () with
+  | Error msg -> fail "chaos: resume after truncation failed: %s" msg
+  | Ok resumed ->
+    if resumed.progress.executed <> 1 then
+      fail "chaos: truncated resume re-executed %d jobs, wanted 1"
+        resumed.progress.executed;
+    if
+      Gncg_workload.Report.runs_to_csv resumed.runs
+      <> Gncg_workload.Report.runs_to_csv retried.runs
+    then fail "chaos: resumed runs differ from the uninterrupted batch");
+  Sys.remove journal;
+  Printf.printf "chaos-smoke: %d jobs, %d injected crashes classified, torn journal \
+                 resumed\n%!"
+    (List.length jobs) predicted_crashes;
+  print_endline "chaos-smoke ok";
+  exit 0
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  (match args with
-  | "--validate-json" :: path :: _ ->
-    validate_bench_json path;
-    exit 0
-  | "--domains" :: d :: _ -> (
-    match int_of_string_opt d with
-    | Some k when k >= 1 -> Gncg_util.Parallel.set_default_domains (Some k)
-    | _ -> fail "--domains expects a positive integer, got %S" d)
-  | _ -> ());
+  let chaos = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--validate-json" :: path :: _ ->
+      validate_bench_json path;
+      exit 0
+    | "--domains" :: d :: rest -> (
+      match int_of_string_opt d with
+      | Some k when k >= 1 ->
+        Gncg_util.Parallel.set_default_domains (Some k);
+        parse rest
+      | _ -> fail "--domains expects a positive integer, got %S" d)
+    | "--selfcheck" :: c :: rest -> (
+      match int_of_string_opt c with
+      | Some k when k >= 1 ->
+        Gncg_graph.Incr_apsp.set_default_selfcheck k;
+        parse rest
+      | _ -> fail "--selfcheck expects a positive integer, got %S" c)
+    | "--chaos" :: rest ->
+      chaos := true;
+      parse rest
+    | a :: _ -> fail "unknown argument %S" a
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !chaos then chaos_smoke ();
   let rng = Gncg_util.Prng.create 7 in
   let n = 60 in
   let host =

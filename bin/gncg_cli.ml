@@ -58,9 +58,11 @@ module Common = struct
     domains : int option;
     trace : string option;
     profile : bool;
+    selfcheck : int option;
+    strict_validate : bool;
   }
 
-  type flag = Exec_flags | Trace | Profile
+  type flag = Exec_flags | Trace | Profile | Selfcheck | Strict_validate
 
   let exec_conv =
     let parse s = Result.map_error (fun m -> `Msg m) (Gncg_util.Exec.of_string s) in
@@ -95,8 +97,28 @@ module Common = struct
            & info [ "profile" ]
                ~doc:"record engine counters and print a summary table to stderr on exit")
     in
-    Term.(const (fun exec domains trace profile -> { exec; domains; trace; profile })
-          $ exec_arg $ domains_arg $ trace_arg $ profile_arg)
+    let selfcheck_arg =
+      Arg.(value
+           & opt (some positive_int) None
+           & info [ "selfcheck" ] ~docv:"N"
+               ~doc:
+                 "drift sentinel cadence: cross-check the incremental distance \
+                  matrix against fresh Dijkstra every N network mutations and \
+                  self-heal on mismatch (default: off)")
+    in
+    let strict_validate_arg =
+      Arg.(value
+           & flag
+           & info [ "strict-validate" ]
+               ~doc:
+                 "validate hosts at every trust boundary (serialized loads, random \
+                  generation): reject non-finite, non-positive, asymmetric, \
+                  disconnected, or triangle-violating inputs with a typed error")
+    in
+    Term.(const (fun exec domains trace profile selfcheck strict_validate ->
+              { exec; domains; trace; profile; selfcheck; strict_validate })
+          $ exec_arg $ domains_arg $ trace_arg $ profile_arg $ selfcheck_arg
+          $ strict_validate_arg)
 
   (* Validates the provided flags against the verb's accept list, wires
      up tracing/profiling, and resolves the execution strategy
@@ -113,7 +135,15 @@ module Common = struct
     end;
     if c.trace <> None && not (List.mem Trace accepts) then reject "--trace";
     if c.profile && not (List.mem Profile accepts) then reject "--profile";
+    if c.selfcheck <> None && not (List.mem Selfcheck accepts) then reject "--selfcheck";
+    if c.strict_validate && not (List.mem Strict_validate accepts) then
+      reject "--strict-validate";
+    Printexc.record_backtrace true;
     Gncg_util.Parallel.set_default_domains c.domains;
+    (match c.selfcheck with
+    | Some n -> Gncg_graph.Incr_apsp.set_default_selfcheck n
+    | None -> ());
+    if c.strict_validate then Gncg_util.Gncg_error.set_strict_validation true;
     (match c.trace with Some path -> Gncg_obs.Obs.trace_to_file path | None -> ());
     if c.profile then begin
       Gncg_obs.Obs.set_profiling true;
@@ -123,7 +153,7 @@ module Common = struct
     | Some exec -> exec
     | None -> Gncg_util.Exec.Par { domains = c.domains }
 
-  let all = [ Exec_flags; Trace; Profile ]
+  let all = [ Exec_flags; Trace; Profile; Selfcheck; Strict_validate ]
 end
 
 (* --- sweep ----------------------------------------------------------- *)
@@ -420,8 +450,19 @@ let construct_cmd =
 
 let check_files host_path profile_path common =
   let exec = Common.setup ~verb:"check" ~accepts:Common.all common in
-  let host = Gncg.Serialize.host_of_file host_path in
-  let profile = Gncg.Serialize.profile_of_file profile_path in
+  let or_die = function
+    | Ok x -> x
+    | Error e ->
+      Printf.eprintf "%s\n" (Gncg_util.Gncg_error.to_string e);
+      exit 1
+  in
+  let host = or_die (Gncg.Serialize.host_of_file_result host_path) in
+  (* Under --strict-validate the load above already ran the weight/
+     connectivity checks; "check" additionally demands the full metric
+     axioms, triangle inequality included. *)
+  if Gncg_util.Gncg_error.strict_validation () then
+    or_die (Gncg.Host.validate ~require_metric:true host);
+  let profile = or_die (Gncg.Serialize.profile_of_file_result profile_path) in
   if Gncg.Strategy.n profile <> Gncg.Host.n host then begin
     Printf.eprintf "host has %d agents but profile has %d\n" (Gncg.Host.n host)
       (Gncg.Strategy.n profile);

@@ -16,3 +16,17 @@ let weight t u v = Gncg_metric.Metric.weight t.metric u v
 let edge_price t u v = t.alpha *. weight t u v
 
 let with_alpha alpha t = make ~alpha t.metric
+
+module Gncg_error = Gncg_util.Gncg_error
+
+let validate ?tol ?require_metric ?require_connected t =
+  let ( let* ) = Result.bind in
+  let* () =
+    if Float.is_finite t.alpha && t.alpha > 0.0 then Ok ()
+    else
+      Gncg_error.failf ~context:"Host.validate"
+        (if Float.is_nan t.alpha || t.alpha = Float.infinity then Gncg_error.Not_finite
+         else Gncg_error.Negative)
+        "alpha %g must be positive and finite" t.alpha
+  in
+  Gncg_metric.Metric.validate ?tol ?require_metric ?require_connected t.metric

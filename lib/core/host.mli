@@ -22,3 +22,13 @@ val edge_price : t -> int -> int -> float
 
 val with_alpha : float -> t -> t
 (** Same host space, different α. *)
+
+val validate :
+  ?tol:float ->
+  ?require_metric:bool ->
+  ?require_connected:bool ->
+  t ->
+  (unit, Gncg_util.Gncg_error.t) result
+(** α finite and positive, then {!Gncg_metric.Metric.validate} on the
+    host space with the same options — the typed first-failure check
+    behind [--strict-validate]. *)

@@ -155,6 +155,24 @@ let set_profile t s' =
   Bytes.fill t.cost_valid 0 (Bytes.length t.cost_valid) '\000';
   t.pending_full <- true
 
+(* --- drift sentinel passthrough --- *)
+
+let set_selfcheck t n = Incr_apsp.set_selfcheck t.apsp n
+
+let selfcheck_cadence t = Incr_apsp.selfcheck_cadence t.apsp
+
+let selfcheck_now t =
+  let clean = Incr_apsp.selfcheck_now t.apsp in
+  if not clean then begin
+    (* The matrix was rebuilt: every cached cost and every row upstream
+       is suspect. *)
+    Bytes.fill t.cost_valid 0 (Bytes.length t.cost_valid) '\000';
+    t.pending_full <- true
+  end;
+  clean
+
+let inject_distance_error t u v delta = Incr_apsp.inject_cell_error t.apsp u v delta
+
 let sssp_edited t ?remove ?add source = Incr_apsp.sssp_edited t.apsp ?remove ?add source
 
 let sssp_edited_into t ?remove ?add source dst =

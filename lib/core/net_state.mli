@@ -106,6 +106,27 @@ val sssp_edited_sum : t -> ?remove:int * int -> ?add:int * int * float -> int ->
 
 val copy : t -> t
 
+(** {1 Drift sentinel}
+
+    Passthrough to {!Gncg_graph.Incr_apsp}'s configurable-cadence
+    cross-check: every [N] applied network mutations the engine verifies
+    the maintained matrix (symmetry sweep + one fresh-Dijkstra row) and
+    self-heals by rebuilding on a mismatch, reporting every row changed
+    so the caches above invalidate. *)
+
+val set_selfcheck : t -> int -> unit
+(** Probe every [n] network mutations; [0] disables (the default). *)
+
+val selfcheck_cadence : t -> int
+
+val selfcheck_now : t -> bool
+(** One immediate probe; on repair also drops the whole cost cache and
+    marks the pending change report [full].  [true] = clean. *)
+
+val inject_distance_error : t -> int -> int -> float -> unit
+(** Perturbs one maintained distance cell without touching the graph —
+    fault-injection hook for sentinel tests and chaos runs. *)
+
 val check_consistent : t -> bool
 (** Compares the maintained matrix against a from-scratch APSP of a
     freshly built network (within [Flt.eps]), and every valid cache entry

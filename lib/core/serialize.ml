@@ -1,13 +1,9 @@
+module Gncg_error = Gncg_util.Gncg_error
+
+let ( let* ) = Result.bind
+
 let float_to_string x =
   if x = Float.infinity then "inf" else Printf.sprintf "%.17g" x
-
-let float_of_token line tok =
-  match tok with
-  | "inf" -> Float.infinity
-  | _ -> (
-    match float_of_string_opt tok with
-    | Some x -> x
-    | None -> failwith (Printf.sprintf "Serialize: bad number %S on line %d" tok line))
 
 let host_to_string host =
   let n = Host.n host in
@@ -24,61 +20,6 @@ let host_to_string host =
   done;
   Buffer.contents buf
 
-let lines_of s =
-  String.split_on_char '\n' s
-  |> List.mapi (fun i l -> (i + 1, String.trim l))
-  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
-
-let fields l = String.split_on_char ' ' l |> List.filter (fun t -> t <> "")
-
-let expect_header lines magic =
-  match lines with
-  | (ln, first) :: rest ->
-    (match fields first with
-    | [ m; "1" ] when m = magic -> rest
-    | _ -> failwith (Printf.sprintf "Serialize: expected %S header on line %d" magic ln))
-  | [] -> failwith "Serialize: empty input"
-
-let parse_n lines =
-  match lines with
-  | (ln, l) :: rest -> (
-    match fields l with
-    | [ "n"; v ] -> (
-      match int_of_string_opt v with
-      | Some n when n >= 0 -> (n, rest)
-      | _ -> failwith (Printf.sprintf "Serialize: bad size on line %d" ln))
-    | _ -> failwith (Printf.sprintf "Serialize: expected size on line %d" ln))
-  | [] -> failwith "Serialize: missing size"
-
-let host_of_string s =
-  let lines = expect_header (lines_of s) "gncg-host" in
-  let n, lines = parse_n lines in
-  let alpha, lines =
-    match lines with
-    | (ln, l) :: rest -> (
-      match fields l with
-      | [ "alpha"; v ] -> (float_of_token ln v, rest)
-      | _ -> failwith (Printf.sprintf "Serialize: expected alpha on line %d" ln))
-    | [] -> failwith "Serialize: missing alpha"
-  in
-  let w = Array.make_matrix n n Float.infinity in
-  for i = 0 to n - 1 do
-    w.(i).(i) <- 0.0
-  done;
-  List.iter
-    (fun (ln, l) ->
-      match fields l with
-      | [ "w"; u; v; x ] -> (
-        match (int_of_string_opt u, int_of_string_opt v) with
-        | Some u, Some v when u >= 0 && v >= 0 && u < n && v < n && u <> v ->
-          let x = float_of_token ln x in
-          w.(u).(v) <- x;
-          w.(v).(u) <- x
-        | _ -> failwith (Printf.sprintf "Serialize: bad pair on line %d" ln))
-      | _ -> failwith (Printf.sprintf "Serialize: unexpected line %d: %s" ln l))
-    lines;
-  Host.make ~alpha (Gncg_metric.Metric.of_matrix w)
-
 let profile_to_string s =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "gncg-profile 1\n";
@@ -88,19 +29,145 @@ let profile_to_string s =
     (Strategy.owned_edges s);
   Buffer.contents buf
 
-let profile_of_string str =
-  let lines = expect_header (lines_of str) "gncg-profile" in
-  let n, lines = parse_n lines in
-  List.fold_left
-    (fun s (ln, l) ->
+(* --- result-returning parsers ------------------------------------------ *)
+
+(* Lines keep their 1-based number; tokens keep their 1-based column
+   within the (right-trimmed) line, so every rejection is located. *)
+let lines_of s =
+  String.split_on_char '\n' s
+  |> List.mapi (fun i l -> (i + 1, String.trim l))
+  |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+
+let fields l =
+  let n = String.length l in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if l.[i] = ' ' then go (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && l.[!j] <> ' ' do
+        incr j
+      done;
+      go !j ((i + 1, String.sub l i (!j - i)) :: acc)
+    end
+  in
+  go 0 []
+
+let perr ~context ?where fmt = Gncg_error.failf ?where ~context Gncg_error.Parse fmt
+
+let float_of_token ~context line (col, tok) =
+  match tok with
+  | "inf" -> Ok Float.infinity
+  | _ -> (
+    match float_of_string_opt tok with
+    | Some x -> Ok x
+    | None ->
+      perr ~context ~where:(Gncg_error.Line_column (line, col)) "bad number %S" tok)
+
+let expect_header ~context lines magic =
+  match lines with
+  | (ln, first) :: rest -> (
+    match fields first with
+    | [ (_, m); (_, "1") ] when m = magic -> Ok rest
+    | _ -> perr ~context ~where:(Gncg_error.Line ln) "expected %S header" magic)
+  | [] -> perr ~context "empty input"
+
+let parse_n ~context lines =
+  match lines with
+  | (ln, l) :: rest -> (
+    match fields l with
+    | [ (_, "n"); (col, v) ] -> (
+      match int_of_string_opt v with
+      | Some n when n >= 0 -> Ok (n, rest)
+      | _ -> perr ~context ~where:(Gncg_error.Line_column (ln, col)) "bad size %S" v)
+    | _ -> perr ~context ~where:(Gncg_error.Line ln) "expected a size line")
+  | [] -> perr ~context "missing size"
+
+let host_of_string_result ?validate s =
+  let context = "Serialize.host_of_string" in
+  let* lines = expect_header ~context (lines_of s) "gncg-host" in
+  let* n, lines = parse_n ~context lines in
+  let* alpha, lines =
+    match lines with
+    | (ln, l) :: rest -> (
       match fields l with
-      | [ "buy"; u; v ] -> (
+      | [ (_, "alpha"); tok ] ->
+        let* a = float_of_token ~context ln tok in
+        let* () =
+          if Float.is_nan a then
+            Gncg_error.fail ~where:(Gncg_error.Line ln) ~context Gncg_error.Not_finite
+              "alpha is NaN"
+          else if a <= 0.0 || a = Float.infinity then
+            Gncg_error.failf ~where:(Gncg_error.Line ln) ~context Gncg_error.Negative
+              "alpha %g must be positive and finite" a
+          else Ok ()
+        in
+        Ok (a, rest)
+      | _ -> perr ~context ~where:(Gncg_error.Line ln) "expected an alpha line")
+    | [] -> perr ~context "missing alpha"
+  in
+  let w = Array.make_matrix n n Float.infinity in
+  for i = 0 to n - 1 do
+    w.(i).(i) <- 0.0
+  done;
+  let* () =
+    List.fold_left
+      (fun acc (ln, l) ->
+        let* () = acc in
+        match fields l with
+        | [ (_, "w"); (_, u); (_, v); tok ] -> (
+          match (int_of_string_opt u, int_of_string_opt v) with
+          | Some u, Some v when u >= 0 && v >= 0 && u < n && v < n && u <> v ->
+            let* x = float_of_token ~context ln tok in
+            let* () =
+              if Float.is_nan x then
+                Gncg_error.fail
+                  ~where:(Gncg_error.Line ln)
+                  ~context Gncg_error.Not_finite "NaN weight"
+              else if x < 0.0 then
+                Gncg_error.failf
+                  ~where:(Gncg_error.Line ln)
+                  ~context Gncg_error.Negative "weight %g < 0" x
+              else Ok ()
+            in
+            w.(u).(v) <- x;
+            w.(v).(u) <- x;
+            Ok ()
+          | _ -> perr ~context ~where:(Gncg_error.Line ln) "bad pair %S %S" u v)
+        | _ -> perr ~context ~where:(Gncg_error.Line ln) "unexpected line: %s" l)
+      (Ok ()) lines
+  in
+  let host = Host.make ~alpha (Gncg_metric.Metric.of_matrix w) in
+  let* () =
+    let validate =
+      match validate with Some v -> v | None -> Gncg_error.strict_validation ()
+    in
+    (* Loads must accept every family the format stores, including the
+       non-metric general and 1-∞ hosts: validate weights sanity and
+       finite-path connectivity, not the triangle inequality. *)
+    if validate then Host.validate ~require_metric:false host else Ok ()
+  in
+  Ok host
+
+let profile_of_string_result str =
+  let context = "Serialize.profile_of_string" in
+  let* lines = expect_header ~context (lines_of str) "gncg-profile" in
+  let* n, lines = parse_n ~context lines in
+  List.fold_left
+    (fun acc (ln, l) ->
+      let* s = acc in
+      match fields l with
+      | [ (_, "buy"); (_, u); (_, v) ] -> (
         match (int_of_string_opt u, int_of_string_opt v) with
         | Some u, Some v when u >= 0 && v >= 0 && u < n && v < n && u <> v ->
-          Strategy.buy s u v
-        | _ -> failwith (Printf.sprintf "Serialize: bad purchase on line %d" ln))
-      | _ -> failwith (Printf.sprintf "Serialize: unexpected line %d: %s" ln l))
-    (Strategy.empty n) lines
+          Ok (Strategy.buy s u v)
+        | _ -> perr ~context ~where:(Gncg_error.Line ln) "bad purchase %S %S" u v)
+      | (_, "buy") :: _ ->
+        perr ~context ~where:(Gncg_error.Line ln) "truncated purchase: %s" l
+      | _ -> perr ~context ~where:(Gncg_error.Line ln) "unexpected line: %s" l)
+    (Ok (Strategy.empty n)) lines
+
+(* --- files -------------------------------------------------------------- *)
 
 let write_file path content =
   let oc = open_out path in
@@ -112,10 +179,33 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let host_to_file path host = write_file path (host_to_string host)
+let read_file_result ~context path =
+  match read_file path with
+  | s -> Ok s
+  | exception Sys_error msg ->
+    Gncg_error.fail ~where:(Gncg_error.File path) ~context Gncg_error.Io msg
 
-let host_of_file path = host_of_string (read_file path)
+let host_of_file_result ?validate path =
+  let* s = read_file_result ~context:"Serialize.host_of_file" path in
+  Result.map_error (Gncg_error.in_file path) (host_of_string_result ?validate s)
+
+let profile_of_file_result path =
+  let* s = read_file_result ~context:"Serialize.profile_of_file" path in
+  Result.map_error (Gncg_error.in_file path) (profile_of_string_result s)
+
+let host_to_file path host = write_file path (host_to_string host)
 
 let profile_to_file path s = write_file path (profile_to_string s)
 
-let profile_of_file path = profile_of_string (read_file path)
+(* BEGIN legacy raising aliases *)
+(* Pre-PR-5 entry points: same parsers, but a malformed input raises
+   [Gncg_error.Error] (carrying the structured value the [_result] forms
+   return) instead of the historical stringly [Failure _]. *)
+let host_of_string s = Gncg_error.get_ok (host_of_string_result s)
+
+let profile_of_string s = Gncg_error.get_ok (profile_of_string_result s)
+
+let host_of_file path = Gncg_error.get_ok (host_of_file_result path)
+
+let profile_of_file path = Gncg_error.get_ok (profile_of_file_result path)
+(* END legacy raising aliases *)

@@ -20,21 +20,48 @@
     n 4
     buy 0 2
     buy 3 1
-    v} *)
+    v}
+
+    The [_result] parsers reject malformed input with a typed
+    {!Gncg_util.Gncg_error.t} locating the offending line (and column,
+    for bad numbers); the historical raising names survive as aliases
+    that raise {!Gncg_util.Gncg_error.Error} with the same value. *)
 
 val host_to_string : Host.t -> string
 
-val host_of_string : string -> Host.t
-(** Raises [Failure] with a line-precise message on malformed input. *)
+val host_of_string_result :
+  ?validate:bool -> string -> (Host.t, Gncg_util.Gncg_error.t) result
+(** Parses a host.  With [validate] (default: the process-wide
+    {!Gncg_util.Gncg_error.strict_validation} flag) the parsed host is
+    additionally checked through [Host.validate ~require_metric:false] —
+    weight sanity and finite-path connectivity; the triangle inequality
+    is not required because the format legitimately stores the
+    non-metric general and 1-∞ families. *)
 
 val profile_to_string : Strategy.t -> string
 
-val profile_of_string : string -> Strategy.t
+val profile_of_string_result : string -> (Strategy.t, Gncg_util.Gncg_error.t) result
 
 val host_to_file : string -> Host.t -> unit
 
-val host_of_file : string -> Host.t
+val host_of_file_result :
+  ?validate:bool -> string -> (Host.t, Gncg_util.Gncg_error.t) result
+(** {!host_of_string_result} on the file's contents; errors carry the
+    path in their location. *)
 
 val profile_to_file : string -> Strategy.t -> unit
+
+val profile_of_file_result : string -> (Strategy.t, Gncg_util.Gncg_error.t) result
+
+(** {1 Legacy raising aliases}
+
+    Deprecated: use the [_result] forms.  These raise
+    {!Gncg_util.Gncg_error.Error} on malformed input. *)
+
+val host_of_string : string -> Host.t
+
+val profile_of_string : string -> Strategy.t
+
+val host_of_file : string -> Host.t
 
 val profile_of_file : string -> Strategy.t

@@ -61,7 +61,11 @@ let min_weight_spanner_exact ?(max_two_edges = 16) host =
   done;
   match !best with
   | Some (_, g) -> g
-  | None -> assert false (* the full 2-edge set is always a spanner *)
+  | None ->
+    (* The full 2-edge set is always a spanner, so the search space is
+       never empty. *)
+    Gncg_util.Gncg_error.unreachable ~context:"Spanner_nash.min_weight_spanner"
+      "no spanner found although the full 2-edge set qualifies"
 
 let min_weight_spanner_heuristic host =
   require_one_two host;

@@ -52,6 +52,93 @@ let triangle_violations ?(tol = Flt.eps) h =
   done;
   List.rev !acc
 
+module Gncg_error = Gncg_util.Gncg_error
+
+(* First-failure validation with located typed errors; [is_metric] stays
+   the cheap boolean form.  Exactness is the caller's choice through
+   [tol] (1-2 metrics validate with [~tol:0.0]; Euclidean closures need
+   the Flt tolerance). *)
+let validate ?(tol = Flt.eps) ?(require_metric = true) ?(require_connected = true) h =
+  let ( let* ) = Result.bind in
+  let ctx = "Metric.validate" in
+  let err ?where kind msg = Gncg_error.fail ?where ~context:ctx kind msg in
+  let n = h.size in
+  let* () =
+    let bad = ref None in
+    for u = 0 to n - 1 do
+      if !bad = None && h.w.(u).(u) <> 0.0 then bad := Some u
+    done;
+    match !bad with
+    | Some u ->
+      err ~where:(Gncg_error.Pair (u, u)) Gncg_error.Inconsistent "non-zero diagonal"
+    | None -> Ok ()
+  in
+  let* () =
+    let bad = ref None in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if !bad = None then begin
+          let x = h.w.(u).(v) in
+          if x <> h.w.(v).(u) && not (Float.is_nan x && Float.is_nan h.w.(v).(u)) then
+            bad := Some (u, v, Gncg_error.Asymmetric, "w(u,v) <> w(v,u)")
+          else if Float.is_nan x then
+            bad := Some (u, v, Gncg_error.Not_finite, "NaN weight")
+          else if x < 0.0 then
+            bad := Some (u, v, Gncg_error.Negative, Printf.sprintf "weight %g < 0" x)
+          else if x = 0.0 then
+            bad := Some (u, v, Gncg_error.Negative, "zero off-diagonal weight")
+          else if require_metric && x = Float.infinity then
+            bad := Some (u, v, Gncg_error.Not_finite, "infinite weight in a metric host")
+        end
+      done
+    done;
+    match !bad with
+    | Some (u, v, kind, msg) -> err ~where:(Gncg_error.Pair (u, v)) kind msg
+    | None -> Ok ()
+  in
+  let* () =
+    if not require_connected || n = 0 then Ok ()
+    else begin
+      let uf = Gncg_graph.Union_find.create n in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          if Float.is_finite h.w.(u).(v) then ignore (Gncg_graph.Union_find.union uf u v)
+        done
+      done;
+      if Gncg_graph.Union_find.count uf = 1 then Ok ()
+      else begin
+        let stray = ref 0 in
+        for u = n - 1 downto 1 do
+          if not (Gncg_graph.Union_find.same uf 0 u) then stray := u
+        done;
+        err ~where:(Gncg_error.Vertex !stray) Gncg_error.Disconnected
+          "no finite-weight path to vertex 0"
+      end
+    end
+  in
+  if not require_metric then Ok ()
+  else begin
+    let bad = ref None in
+    (try
+       for u = 0 to n - 1 do
+         for v = u + 1 to n - 1 do
+           for x = 0 to n - 1 do
+             if x <> u && x <> v && h.w.(u).(v) > h.w.(u).(x) +. h.w.(x).(v) +. tol then begin
+               bad := Some (u, v, x);
+               raise Exit
+             end
+           done
+         done
+       done
+     with Exit -> ());
+    match !bad with
+    | Some (u, v, x) ->
+      Gncg_error.failf ~where:(Gncg_error.Triple (u, v, x)) ~context:ctx
+        Gncg_error.Triangle "w(%d,%d)=%g > w(%d,%d)+w(%d,%d)=%g" u v h.w.(u).(v) u x x v
+        (h.w.(u).(x) +. h.w.(x).(v))
+    | None -> Ok ()
+  end
+
 let is_metric ?(tol = Flt.eps) h =
   let positive = ref true in
   for u = 0 to h.size - 1 do

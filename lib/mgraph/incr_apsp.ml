@@ -13,6 +13,9 @@ let c_deletions = Metric.Counter.make "incr_apsp.deletions"
 let c_deletion_rows_recomputed = Metric.Counter.make "incr_apsp.deletion_rows_recomputed"
 let c_whatif_sssp = Metric.Counter.make "incr_apsp.whatif_sssp"
 let c_add_kernels = Metric.Counter.make "incr_apsp.add_kernels"
+let c_selfcheck_probes = Metric.Counter.make "incr_apsp.selfcheck_probes"
+let c_selfcheck_mismatches = Metric.Counter.make "incr_apsp.selfcheck_mismatches"
+let c_selfcheck_repairs = Metric.Counter.make "incr_apsp.selfcheck_repairs"
 
 type t = {
   g : Wgraph.t;
@@ -23,7 +26,19 @@ type t = {
   scratch : float array;      (* reusable row for what-if / recompute passes *)
   ws : Dijkstra.workspace;    (* reusable Dijkstra heap *)
   mutable last_recomputed : int;
+  (* Drift sentinel: every [selfcheck_every] updates (0 = off), cross-check
+     the matrix and self-heal by rebuilding on a mismatch. *)
+  mutable selfcheck_every : int;
+  mutable selfcheck_countdown : int;
+  mutable selfcheck_cursor : int;
 }
+
+(* Process-wide default cadence applied to newly created engines — the
+   hook [--selfcheck N] reaches every internally constructed instance
+   through (mirrors Parallel.set_default_domains). *)
+let default_selfcheck = ref 0
+
+let set_default_selfcheck n = default_selfcheck := max 0 n
 
 let of_graph_no_copy g =
   let n = Wgraph.n g in
@@ -37,6 +52,9 @@ let of_graph_no_copy g =
       scratch = Array.make n Float.infinity;
       ws = Dijkstra.workspace n;
       last_recomputed = 0;
+      selfcheck_every = !default_selfcheck;
+      selfcheck_countdown = (if !default_selfcheck > 0 then !default_selfcheck else 0);
+      selfcheck_cursor = 0;
     }
   in
   for s = 0 to n - 1 do
@@ -141,6 +159,103 @@ let min_sum_against t r v w =
   done;
   if !any_inf then Float.infinity else !s
 
+let rebuild t =
+  for s = 0 to t.n - 1 do
+    Dijkstra.sssp_flat_into t.ws t.g s t.d (s * t.n)
+  done
+
+(* --- drift sentinel ---------------------------------------------------- *)
+
+(* The incremental updates are exact in exact arithmetic, but float
+   relaxation can associate sums differently from fresh Dijkstra, and a
+   stray write (a bug, or injected corruption) silently poisons every
+   verdict above.  The sentinel cross-checks the matrix every
+   [selfcheck_every] updates with two complementary probes:
+
+   - an O(n²) symmetry sweep ([Flt]-tolerant — rows are computed from
+     opposite endpoints, so ulp-level asymmetry is legitimate): catches
+     any single-cell corruption within one cadence window;
+   - one fresh-Dijkstra row compare against a round-robin sampled source
+     row: catches symmetric/logical drift across n windows.
+
+   On mismatch it degrades gracefully: bump the obs counters and rebuild
+   the whole matrix from the graph instead of propagating corrupt
+   distances; the triggering update reports {e every} row as changed so
+   the layers above invalidate their caches. *)
+
+let set_selfcheck t n =
+  let n = max 0 n in
+  t.selfcheck_every <- n;
+  t.selfcheck_countdown <- n
+
+let selfcheck_cadence t = t.selfcheck_every
+
+let selfcheck_now t =
+  Metric.Counter.incr c_selfcheck_probes;
+  let n = t.n in
+  let clean = ref true in
+  (try
+     for u = 0 to n - 1 do
+       for v = u + 1 to n - 1 do
+         if
+           not
+             (Gncg_util.Flt.approx_eq
+                (Float.Array.unsafe_get t.d ((u * n) + v))
+                (Float.Array.unsafe_get t.d ((v * n) + u)))
+         then begin
+           clean := false;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  if !clean && n > 0 then begin
+    let s = t.selfcheck_cursor mod n in
+    t.selfcheck_cursor <- (s + 1) mod n;
+    Dijkstra.sssp_into t.ws t.g s t.scratch;
+    let base = s * n in
+    try
+      for x = 0 to n - 1 do
+        if
+          not
+            (Gncg_util.Flt.approx_eq
+               (Array.unsafe_get t.scratch x)
+               (Float.Array.unsafe_get t.d (base + x)))
+        then begin
+          clean := false;
+          raise Exit
+        end
+      done
+    with Exit -> ()
+  end;
+  if not !clean then begin
+    Metric.Counter.incr c_selfcheck_mismatches;
+    rebuild t;
+    Metric.Counter.incr c_selfcheck_repairs
+  end;
+  !clean
+
+(* Post-update hook: when the cadence fires and the probe repairs, widen
+   the update's change report to all rows — the rebuild may have moved
+   any distance. *)
+let tick_selfcheck t changed =
+  if t.selfcheck_every > 0 then begin
+    t.selfcheck_countdown <- t.selfcheck_countdown - 1;
+    if t.selfcheck_countdown <= 0 then begin
+      t.selfcheck_countdown <- t.selfcheck_every;
+      if not (selfcheck_now t) then
+        for s = 0 to t.n - 1 do
+          Changed_rows.add changed s
+        done
+    end
+  end
+
+let inject_cell_error t u v delta =
+  check t u "inject_cell_error";
+  check t v "inject_cell_error";
+  let i = (u * t.n) + v in
+  Float.Array.set t.d i (Float.Array.get t.d i +. delta)
+
 (* --- updates --- *)
 
 let add_edge t u v w =
@@ -178,6 +293,7 @@ let add_edge t u v w =
     done;
     Metric.Counter.add c_rows_changed (Changed_rows.cardinal changed)
   end;
+  tick_selfcheck t changed;
   changed
 
 let remove_edge t u v =
@@ -226,6 +342,7 @@ let remove_edge t u v =
     t.last_recomputed <- !recomputed;
     Metric.Counter.add c_deletion_rows_recomputed !recomputed;
     Metric.Counter.add c_rows_changed (Changed_rows.cardinal changed));
+  tick_selfcheck t changed;
   changed
 
 let last_deletion_recomputed t = t.last_recomputed
@@ -285,12 +402,10 @@ let copy t =
       scratch = Array.make t.n Float.infinity;
       ws = Dijkstra.workspace t.n;
       last_recomputed = t.last_recomputed;
+      selfcheck_every = t.selfcheck_every;
+      selfcheck_countdown = t.selfcheck_countdown;
+      selfcheck_cursor = t.selfcheck_cursor;
     }
   in
   Float.Array.blit t.d 0 t'.d 0 (t.n * t.n);
   t'
-
-let rebuild t =
-  for s = 0 to t.n - 1 do
-    Dijkstra.sssp_flat_into t.ws t.g s t.d (s * t.n)
-  done

@@ -109,3 +109,36 @@ val copy : t -> t
 val rebuild : t -> unit
 (** Recomputes the whole matrix from the graph through the reusable
     workspace (an oracle/repair hook; normal use never needs it). *)
+
+(** {1 Drift sentinel}
+
+    A configurable-cadence cross-check of the maintained matrix against
+    ground truth.  Every [N] updates ({!add_edge} / {!remove_edge}) the
+    engine runs a cheap probe — an [Flt]-tolerant O(n²) symmetry sweep
+    (any single-cell corruption breaks [d(u,v) = d(v,u)]) plus one fresh
+    Dijkstra recompute of a round-robin sampled source row.  On a
+    mismatch it degrades gracefully: the [incr_apsp.selfcheck_mismatches]
+    and [incr_apsp.selfcheck_repairs] observability counters are bumped,
+    the whole matrix is rebuilt from the graph, and the triggering
+    update's change report covers every row so the layers above
+    invalidate their caches. *)
+
+val set_selfcheck : t -> int -> unit
+(** Sets the probe cadence: check every [n] updates; [0] (the default)
+    disables the sentinel.  Resets the countdown. *)
+
+val selfcheck_cadence : t -> int
+
+val selfcheck_now : t -> bool
+(** Runs one probe immediately (outside the cadence), repairing on
+    mismatch.  Returns [true] when the matrix was clean. *)
+
+val set_default_selfcheck : int -> unit
+(** Process-wide default cadence applied to newly created engines — how
+    the CLI's [--selfcheck N] reaches internally constructed instances.
+    Set once at startup. *)
+
+val inject_cell_error : t -> int -> int -> float -> unit
+(** [inject_cell_error t u v delta] perturbs the single maintained cell
+    [d(u,v)] by [delta] {e without} touching the graph — a fault-injection
+    hook for exercising the sentinel in tests and chaos runs. *)

@@ -1,4 +1,9 @@
 module Sweep = Gncg_workload.Sweep
+module Metric = Gncg_obs.Metric
+
+(* Retry pressure per batch invocation: total extra attempts beyond the
+   first, summed over the batch's fresh reports. *)
+let c_batch_retries = Metric.Counter.make "runs.batch_retry_attempts"
 
 type config = {
   model : Gncg_workload.Instances.model;
@@ -42,13 +47,14 @@ type progress = {
   diverged : int;
   timeout : int;
   crashed : int;
+  retries : int;
 }
 
 let pp_progress fmt p =
   Format.fprintf fmt
     "%d jobs: re-executed %d jobs, skipped %d already journaled (completed %d, \
-     diverged %d, timeout %d, crashed %d)"
-    p.total p.executed p.skipped p.completed p.diverged p.timeout p.crashed
+     diverged %d, timeout %d, crashed %d, retry attempts %d)"
+    p.total p.executed p.skipped p.completed p.diverged p.timeout p.crashed p.retries
 
 type summary = { runs : Sweep.run list; progress : progress }
 
@@ -58,7 +64,12 @@ let entry_of_report job (report : Sweep.run Scheduler.report) =
     | Scheduler.Completed r -> (Journal.Completed, Some r)
     | Scheduler.Diverged r -> (Journal.Diverged, Some r)
     | Scheduler.Timeout -> (Journal.Timeout, None)
-    | Scheduler.Crashed msg -> (Journal.Crashed msg, None)
+    | Scheduler.Crashed { msg; backtrace } ->
+      (* The journal keeps a single string: message first, backtrace (when
+         recorded) appended so a post-mortem has the frames. *)
+      ( Journal.Crashed
+          (if backtrace = "" then msg else msg ^ "\n" ^ String.trim backtrace),
+        None )
   in
   {
     Journal.job = Job.hash job;
@@ -69,8 +80,11 @@ let entry_of_report job (report : Sweep.run Scheduler.report) =
   }
 
 (* Runs [pending] through the scheduler (journaling as results land) and
-   merges with the already-terminal entries, in job order. *)
-let run_pending ?domains ?budget ?retries journal_handle all_jobs terminal pending =
+   merges with the already-terminal entries, in job order.  [exec] is the
+   fault-injection seam: production always passes [Job.execute]; the
+   chaos harness wraps it. *)
+let run_pending ?domains ?budget ?retries ?(exec = Job.execute) journal_handle all_jobs
+    terminal pending =
   let on_result job report =
     match journal_handle with
     | None -> ()
@@ -79,12 +93,16 @@ let run_pending ?domains ?budget ?retries journal_handle all_jobs terminal pendi
   let reports =
     Scheduler.run ?domains ?budget ?retries
       ~diverged:(fun (r : Sweep.run) -> not r.Sweep.converged)
-      ~on_result Job.execute pending
+      ~on_result exec pending
   in
   let fresh = Hashtbl.create (List.length reports) in
   List.iter
     (fun (job, report) -> Hashtbl.replace fresh (Job.hash job) report)
     reports;
+  let batch_retries =
+    List.fold_left (fun acc (_, r) -> acc + (r.Scheduler.attempts - 1)) 0 reports
+  in
+  Metric.Counter.add c_batch_retries batch_retries;
   let completed = ref 0
   and diverged = ref 0
   and timeout = ref 0
@@ -117,24 +135,25 @@ let run_pending ?domains ?budget ?retries journal_handle all_jobs terminal pendi
       diverged = !diverged;
       timeout = !timeout;
       crashed = !crashed;
+      retries = batch_retries;
     }
   in
   { runs; progress }
 
-let run ?domains ?budget ?retries ?journal c =
+let run ?domains ?budget ?retries ?exec ?journal c =
   let all_jobs = jobs c in
   let handle = Option.map (fun path -> Journal.create path (manifest c)) journal in
   let result =
     Fun.protect
       ~finally:(fun () -> Option.iter Journal.close handle)
-      (fun () -> run_pending ?domains ?budget ?retries handle all_jobs
+      (fun () -> run_pending ?domains ?budget ?retries ?exec handle all_jobs
           (Hashtbl.create 0) all_jobs)
   in
   result
 
 let ( let* ) = Result.bind
 
-let resume ?domains ?budget ?retries ~journal () =
+let resume ?domains ?budget ?retries ?exec ~journal () =
   let* handle, loaded = Journal.append_to journal in
   let* all_jobs = Journal.manifest_jobs loaded.Journal.manifest in
   let terminal = Journal.terminal loaded.Journal.entries in
@@ -145,7 +164,8 @@ let resume ?domains ?budget ?retries ~journal () =
     Fun.protect
       ~finally:(fun () -> Journal.close handle)
       (fun () ->
-        run_pending ?domains ?budget ?retries (Some handle) all_jobs terminal pending)
+        run_pending ?domains ?budget ?retries ?exec (Some handle) all_jobs terminal
+          pending)
   in
   Ok result
 
@@ -180,6 +200,7 @@ let status ~journal =
       diverged = count (function Journal.Diverged -> true | _ -> false);
       timeout = !timeout;
       crashed = !crashed;
+      retries = 0;
     }
   in
   Ok (loaded.Journal.manifest, progress)

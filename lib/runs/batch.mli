@@ -36,6 +36,10 @@ type progress = {
   diverged : int;
   timeout : int;
   crashed : int;  (** classification counts over the whole batch *)
+  retries : int;
+      (** extra attempts beyond the first, summed over this invocation's
+          fresh reports (also published as the
+          [runs.batch_retry_attempts] counter) *)
 }
 
 val pp_progress : Format.formatter -> progress -> unit
@@ -52,17 +56,21 @@ val run :
   ?domains:int ->
   ?budget:float ->
   ?retries:int ->
+  ?exec:(Job.spec -> Gncg_workload.Sweep.run) ->
   ?journal:string ->
   config ->
   summary
 (** Executes the whole batch through the work-stealing scheduler.  With
     [journal], creates/truncates the file first and appends every result
-    as it lands, so the batch can be killed and picked up by {!resume}. *)
+    as it lands, so the batch can be killed and picked up by {!resume}.
+    [exec] (default {!Job.execute}) is the fault-injection seam the
+    {!Chaos} harness wraps; production callers never pass it. *)
 
 val resume :
   ?domains:int ->
   ?budget:float ->
   ?retries:int ->
+  ?exec:(Job.spec -> Gncg_workload.Sweep.run) ->
   journal:string ->
   unit ->
   (summary, string) result

@@ -1,0 +1,90 @@
+(** Deterministic fault injection for the runs subsystem.
+
+    The scheduler/journal stack promises to survive crashing jobs,
+    blown budgets, and torn journal files.  This module manufactures
+    exactly those conditions {e reproducibly}: every fault decision is a
+    pure function of [(plan seed, job key, attempt number)], so a failing
+    chaos test replays bit-identically from its seed, and a job that
+    crashes on attempt 1 can be scripted to succeed on attempt 2
+    (exercising the retry path, not just the give-up path).
+
+    Two families of injectors:
+
+    - {!wrap} turns an ordinary executor into one that crashes, delays,
+      or corrupts results according to a {!plan} — plugged into
+      {!Batch.run}'s [?exec] seam;
+    - the journal injectors ({!truncate_last_line},
+      {!append_garbage_line}, {!interleave_partial_writes}) mangle a
+      journal file on disk the way real crashes and concurrent writers
+      do, for resume/corruption-tolerance properties. *)
+
+exception Injected_crash of string
+(** The exception {!wrap} raises for a [Crash] fault; carries the job
+    key so test assertions can match crashes to jobs. *)
+
+type fault =
+  | Crash
+  | Delay of float  (** sleep this many seconds, then run the job *)
+  | Corrupt_result  (** run the job, then pass the result through [corrupt] *)
+
+type plan = {
+  seed : int;
+  crash_p : float;
+  delay_p : float;
+  delay_s : float;
+  corrupt_p : float;
+  fault_attempts : int;
+      (** attempts eligible for faults: a fault can only fire on attempt
+          numbers [<= fault_attempts], so with [retries >=
+          fault_attempts] every chaos job eventually succeeds.
+          [max_int] makes faults permanent. *)
+}
+
+val plan :
+  ?crash_p:float ->
+  ?delay_p:float ->
+  ?delay_s:float ->
+  ?corrupt_p:float ->
+  ?fault_attempts:int ->
+  seed:int ->
+  unit ->
+  plan
+(** Probabilities default to [0.]; [delay_s] to [0.05]; [fault_attempts]
+    to [1] (faults on the first attempt only). *)
+
+val decide : plan -> key:string -> attempt:int -> fault option
+(** The pure fault oracle: hashes [(seed, key, attempt)] and maps the
+    result to at most one fault ([Crash] shadows [Delay] shadows
+    [Corrupt_result]).  Attempts beyond [fault_attempts] never fault.
+    Tests use it directly as the expected-classification oracle. *)
+
+val wrap :
+  plan ->
+  key:('a -> string) ->
+  ?corrupt:('r -> 'r) ->
+  ('a -> 'r) ->
+  'a ->
+  'r
+(** [wrap plan ~key exec] is an executor with faults injected per
+    {!decide}.  Attempt numbers are tracked internally per key (thread-
+    safe — the scheduler calls from several domains); a wrapped executor
+    is therefore stateful and must be fresh per batch.  [corrupt]
+    defaults to the identity, making [Corrupt_result] a no-op. *)
+
+(** {1 Journal corruption}
+
+    Each injector rewrites the file in place, simulating a specific
+    real-world failure.  They are test fixtures: no fsync discipline,
+    not crash-safe themselves. *)
+
+val truncate_last_line : string -> unit
+(** Chops the final line roughly in half and drops the newline — the
+    shape a [kill -9] mid-append leaves behind. *)
+
+val append_garbage_line : string -> unit
+(** Appends one line of non-JSON noise — a hand-edit or foreign writer. *)
+
+val interleave_partial_writes : string -> unit
+(** Replaces the last two lines with one line made of the first half of
+    each — the torn result of two unsynchronized appenders.  Requires at
+    least two lines; fewer is a no-op. *)

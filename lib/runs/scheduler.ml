@@ -18,17 +18,19 @@ let outcome_label = function
   | `Timeout -> "timeout"
   | `Crashed -> "crashed"
 
+type crash = { msg : string; backtrace : string }
+
 type 'r outcome =
   | Completed of 'r
   | Diverged of 'r
   | Timeout
-  | Crashed of string
+  | Crashed of crash
 
 let outcome_map f = function
   | Completed r -> Completed (f r)
   | Diverged r -> Diverged (f r)
   | Timeout -> Timeout
-  | Crashed msg -> Crashed msg
+  | Crashed c -> Crashed c
 
 type 'r report = { outcome : 'r outcome; attempts : int; elapsed : float }
 
@@ -76,9 +78,18 @@ let attempt ~budget ~retries ~diverged exec job =
       in
       { outcome; attempts = attempt_no; elapsed }
     | exception e ->
+      (* Grab the backtrace before any further call can clobber it; it is
+         empty unless [Printexc.record_backtrace] is on (the CLI enables
+         it, and CI exports OCAMLRUNPARAM=b). *)
+      let backtrace = Printexc.get_backtrace () in
       let elapsed = Unix.gettimeofday () -. t0 in
       if attempt_no <= retries then go (attempt_no + 1)
-      else { outcome = Crashed (Printexc.to_string e); attempts = attempt_no; elapsed }
+      else
+        {
+          outcome = Crashed { msg = Printexc.to_string e; backtrace };
+          attempts = attempt_no;
+          elapsed;
+        }
   in
   let report = go 1 in
   observe_report report;

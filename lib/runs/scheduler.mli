@@ -19,6 +19,14 @@
     can inject crashing, slow and heterogeneous jobs; the sweep
     instantiation lives in {!Batch}. *)
 
+type crash = {
+  msg : string;  (** [Printexc.to_string] of the uncaught exception *)
+  backtrace : string;
+      (** Backtrace captured at the catch site — empty unless backtrace
+          recording is on ([Printexc.record_backtrace true] or
+          [OCAMLRUNPARAM=b]; the CLI enables it at startup). *)
+}
+
 type 'r outcome =
   | Completed of 'r
   | Diverged of 'r
@@ -30,7 +38,7 @@ type 'r outcome =
           finite (dynamics are bounded by [max_steps]), so the budget
           bounds what is {e recorded}, not what runs.  Deterministic jobs
           are not retried on timeout — the re-run would time out again. *)
-  | Crashed of string  (** Uncaught exception, after all retries. *)
+  | Crashed of crash  (** Uncaught exception, after all retries. *)
 
 val outcome_map : ('a -> 'b) -> 'a outcome -> 'b outcome
 

@@ -1,0 +1,103 @@
+type kind =
+  | Parse
+  | Io
+  | Bounds
+  | Not_finite
+  | Negative
+  | Asymmetric
+  | Triangle
+  | Disconnected
+  | Inconsistent
+  | Corrupt
+  | Internal
+
+type location =
+  | Nowhere
+  | Line of int
+  | Line_column of int * int
+  | Vertex of int
+  | Pair of int * int
+  | Triple of int * int * int
+  | File of string
+  | File_line of string * int
+
+type t = {
+  kind : kind;
+  where : location;
+  context : string;
+  message : string;
+}
+
+exception Error of t
+
+let v ?(where = Nowhere) ~context kind message = { kind; where; context; message }
+
+let fail ?where ~context kind message = Stdlib.Error (v ?where ~context kind message)
+
+let failf ?where ~context kind fmt =
+  Printf.ksprintf (fun message -> fail ?where ~context kind message) fmt
+
+let raise_ e = raise (Error e)
+
+let unreachable ~context message = raise_ (v ~context Internal message)
+
+let get_ok = function Ok x -> x | Stdlib.Error e -> raise_ e
+
+let protect f =
+  match f () with
+  | x -> Ok x
+  | exception Error e -> Stdlib.Error e
+  | exception Sys_error msg -> fail ~context:"Io" Io msg
+
+let in_file path e =
+  let where =
+    match e.where with
+    | Line n | Line_column (n, _) -> File_line (path, n)
+    | Nowhere -> File path
+    | w -> w
+  in
+  { e with where }
+
+let kind_to_string = function
+  | Parse -> "parse error"
+  | Io -> "io error"
+  | Bounds -> "out of bounds"
+  | Not_finite -> "non-finite value"
+  | Negative -> "negative value"
+  | Asymmetric -> "asymmetric weights"
+  | Triangle -> "triangle violation"
+  | Disconnected -> "disconnected"
+  | Inconsistent -> "inconsistent state"
+  | Corrupt -> "corrupt artifact"
+  | Internal -> "internal error"
+
+let location_to_string = function
+  | Nowhere -> ""
+  | Line n -> Printf.sprintf "line %d" n
+  | Line_column (l, c) -> Printf.sprintf "line %d, column %d" l c
+  | Vertex u -> Printf.sprintf "vertex %d" u
+  | Pair (u, v) -> Printf.sprintf "pair (%d,%d)" u v
+  | Triple (u, v, x) -> Printf.sprintf "triple (%d,%d) via %d" u v x
+  | File p -> Printf.sprintf "file %S" p
+  | File_line (p, n) -> Printf.sprintf "%s, line %d" p n
+
+let to_string e =
+  let loc = location_to_string e.where in
+  if loc = "" then Printf.sprintf "%s: %s: %s" e.context (kind_to_string e.kind) e.message
+  else
+    Printf.sprintf "%s: %s at %s: %s" e.context (kind_to_string e.kind) loc e.message
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+(* Printexc integration: an escaped [Error _] prints its structured
+   rendering instead of the bare constructor. *)
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Gncg_error.Error: " ^ to_string e)
+    | _ -> None)
+
+let strict = ref false
+
+let set_strict_validation v = strict := v
+
+let strict_validation () = !strict

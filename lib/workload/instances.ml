@@ -46,7 +46,23 @@ let random_metric rng model ~n =
   | General { lo; hi } -> Gncg_metric.Random_host.uniform rng ~n ~lo ~hi
   | One_inf { p } -> Gncg_metric.One_inf.random_connected rng ~n ~p
 
-let random_host rng model ~n ~alpha = Gncg.Host.make ~alpha (random_metric rng model ~n)
+(* Which validation profile fits each model family: exact triangle checks
+   for the discrete 1-2 weights, tolerant ones for closure/point-set
+   metrics, weights-only for the intentionally non-metric families. *)
+let validate_host model host =
+  match model with
+  | One_two _ -> Gncg.Host.validate ~tol:0.0 host
+  | Tree _ | Euclid _ | Graph_metric _ -> Gncg.Host.validate host
+  | General _ -> Gncg.Host.validate ~require_metric:false host
+  | One_inf _ -> Gncg.Host.validate ~require_metric:false host
+
+let random_host rng model ~n ~alpha =
+  let host = Gncg.Host.make ~alpha (random_metric rng model ~n) in
+  if Gncg_util.Gncg_error.strict_validation () then
+    (match validate_host model host with
+    | Ok () -> ()
+    | Error e -> Gncg_util.Gncg_error.raise_ e);
+  host
 
 let random_profile rng host = Gncg_constructions.Brcycle.random_profile rng host
 

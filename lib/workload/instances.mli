@@ -16,7 +16,16 @@ val default_models : model list
 
 val random_metric : Gncg_util.Prng.t -> model -> n:int -> Gncg_metric.Metric.t
 
+val validate_host : model -> Gncg.Host.t -> (unit, Gncg_util.Gncg_error.t) result
+(** {!Gncg.Host.validate} with the profile that fits the model family:
+    exact triangle checks for 1-2 weights, [Flt]-tolerant for the
+    closure/point-set metrics, weights-only for the non-metric general
+    and 1-∞ families. *)
+
 val random_host : Gncg_util.Prng.t -> model -> n:int -> alpha:float -> Gncg.Host.t
+(** Under {!Gncg_util.Gncg_error.strict_validation}, the generated host
+    is passed through {!validate_host}; a failure raises
+    {!Gncg_util.Gncg_error.Error}. *)
 
 val random_profile : Gncg_util.Prng.t -> Gncg.Host.t -> Gncg.Strategy.t
 (** Random connected profile (spanning tree + extra purchases). *)

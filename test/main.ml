@@ -8,4 +8,5 @@ let () =
    @ Test_workload.suites @ Test_fast.suites @ Test_quality.suites
    @ Test_serialize.suites @ Test_guards.suites @ Test_coverage.suites
    @ Test_props.suites @ Test_incr.suites @ Test_flat.suites @ Test_runs.suites
-   @ Test_obs.suites @ Test_exec.suites)
+   @ Test_obs.suites @ Test_exec.suites @ Test_error.suites @ Test_sentinel.suites
+   @ Test_chaos.suites)

@@ -217,7 +217,7 @@ let outcome_to_string = function
   | R.Scheduler.Completed r -> Printf.sprintf "completed %d" r
   | R.Scheduler.Diverged r -> Printf.sprintf "diverged %d" r
   | R.Scheduler.Timeout -> "timeout"
-  | R.Scheduler.Crashed m -> "crashed " ^ m
+  | R.Scheduler.Crashed { msg; _ } -> "crashed " ^ msg
 
 (* Unequal work per job: the heterogeneity work stealing exists for. *)
 let lopsided_exec i =
@@ -249,7 +249,7 @@ let test_scheduler_crash_isolation_and_retry () =
   List.iter
     (fun (i, r) ->
       match r.R.Scheduler.outcome with
-      | R.Scheduler.Crashed msg ->
+      | R.Scheduler.Crashed { msg; _ } ->
         Alcotest.(check int) "only the poisoned job crashes" 5 i;
         check_true "crash message preserved"
           (String.length msg > 0 && String.contains msg 'b');

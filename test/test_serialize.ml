@@ -48,10 +48,18 @@ let test_file_roundtrip () =
       S.profile_to_file path s;
       check_true "profile file roundtrip" (Gncg.Strategy.equal s (S.profile_of_file path)))
 
+module E = Gncg_util.Gncg_error
+
 let expect_failure name f =
   match f () with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.failf "%s: expected Failure" name
+  | exception E.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Gncg_error.Error" name
+
+let expect_error name result check =
+  match result with
+  | Ok _ -> Alcotest.failf "%s: expected a typed error" name
+  | Error e ->
+    if not (check e) then Alcotest.failf "%s: wrong error: %s" name (E.to_string e)
 
 let test_malformed_rejected () =
   expect_failure "empty" (fun () -> S.host_of_string "");
@@ -63,6 +71,79 @@ let test_malformed_rejected () =
       S.host_of_string "gncg-host 1\nn 2\nalpha 1\nw 0 1 zzz\n");
   expect_failure "self purchase" (fun () ->
       S.profile_of_string "gncg-profile 1\nn 3\nbuy 1 1\n")
+
+(* Malformed fixtures must produce *located* typed errors: the kind
+   matches the defect and the location names the offending line (and
+   column for bad numbers). *)
+let test_malformed_fixture_locations () =
+  expect_error "bad number line+column"
+    (S.host_of_string_result "gncg-host 1\nn 2\nalpha 1\nw 0 1 zzz\n")
+    (fun e ->
+      e.E.kind = E.Parse && e.E.where = E.Line_column (4, 7));
+  expect_error "missing header"
+    (S.host_of_string_result "n 2\nalpha 1\nw 0 1 2.0\n")
+    (fun e -> e.E.kind = E.Parse && e.E.where = E.Line 1);
+  expect_error "truncated purchase list"
+    (S.profile_of_string_result "gncg-profile 1\nn 3\nbuy 0 1\nbuy 2\n")
+    (fun e -> e.E.kind = E.Parse && e.E.where = E.Line 4);
+  expect_error "negative weight kind"
+    (S.host_of_string_result "gncg-host 1\nn 2\nalpha 1\nw 0 1 -3.0\n")
+    (fun e -> e.E.kind = E.Negative && e.E.where = E.Line 4);
+  expect_error "NaN weight kind"
+    (S.host_of_string_result "gncg-host 1\nn 2\nalpha 1\nw 0 1 nan\n")
+    (fun e -> e.E.kind = E.Not_finite && e.E.where = E.Line 4);
+  expect_error "non-positive alpha"
+    (S.host_of_string_result "gncg-host 1\nn 2\nalpha 0\nw 0 1 2.0\n")
+    (fun e -> e.E.kind = E.Negative && e.E.where = E.Line 3);
+  expect_error "file errors carry the path"
+    (S.host_of_file_result "/nonexistent/gncg.host")
+    (fun e -> e.E.kind = E.Io && e.E.where = E.File "/nonexistent/gncg.host")
+
+(* Bad fixtures round-trip through a file: writing the malformed text
+   and loading it reports the same located error as the string parser. *)
+let test_malformed_fixture_file_roundtrip () =
+  let fixtures =
+    [
+      ("bad-number", "gncg-host 1\nn 2\nalpha 1\nw 0 1 zzz\n");
+      ("missing-header", "n 2\nalpha 1\n");
+      ("bad-alpha", "gncg-host 1\nn 2\nalpha oops\n");
+    ]
+  in
+  List.iter
+    (fun (name, text) ->
+      let path = Filename.temp_file "gncg_bad" ".host" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          match (S.host_of_string_result text, S.host_of_file_result path) with
+          | Ok _, _ | _, Ok _ -> Alcotest.failf "%s: fixture accepted" name
+          | Error es, Error ef ->
+            check_true (name ^ ": same kind") (es.E.kind = ef.E.kind);
+            check_true (name ^ ": file location attached")
+              (match ef.E.where with
+              | E.File p | E.File_line (p, _) -> p = path
+              | _ -> false)))
+    fixtures
+
+let test_validate_on_load () =
+  (* vertex 2 has no finite-weight path: accepted by default, rejected
+     with a typed Disconnected error under ?validate / strict mode. *)
+  let text = "gncg-host 1\nn 3\nalpha 1\nw 0 1 2.0\n" in
+  (match S.host_of_string_result text with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "default load rejected: %s" (E.to_string e));
+  expect_error "validate rejects disconnected"
+    (S.host_of_string_result ~validate:true text)
+    (fun e -> e.E.kind = E.Disconnected);
+  E.set_strict_validation true;
+  Fun.protect
+    ~finally:(fun () -> E.set_strict_validation false)
+    (fun () ->
+      expect_error "strict mode implies validation" (S.host_of_string_result text)
+        (fun e -> e.E.kind = E.Disconnected))
 
 let test_comments_and_blank_lines () =
   let text = "gncg-host 1\n\n# a comment\nn 2\nalpha 1.5\nw 0 1 2.0\n\n" in
@@ -78,6 +159,9 @@ let suites =
         case "infinite weights" test_infinite_weights_roundtrip;
         case "file roundtrip" test_file_roundtrip;
         case "malformed rejected" test_malformed_rejected;
+        case "malformed fixtures located" test_malformed_fixture_locations;
+        case "malformed fixtures via files" test_malformed_fixture_file_roundtrip;
+        case "validation on load" test_validate_on_load;
         case "comments tolerated" test_comments_and_blank_lines;
       ] );
   ]
