@@ -1,0 +1,184 @@
+(* Serve throughput bench: 8 concurrent clients against one daemon over
+   a Unix-domain socket, mixed ping / eq-check / best-response traffic.
+
+   Measures what the daemon architecture is supposed to buy: connection
+   threads answer pings without touching the executor, query jobs share
+   the host cache, and submissions dedup by content key — so the
+   interesting numbers are requests/s across the fleet and the latency
+   spread between the cheap control path (p50 is usually a ping) and
+   the queued query path (p99 is a query that waited for the executor).
+
+   Schema (validated by bench/smoke.exe --validate-json):
+
+     { "schema": "gncg-bench-7",
+       "clients": 8, "requests": <total>,
+       "elapsed_s": ..., "requests_per_s": ...,
+       "latency_ns": {"p50": ..., "p90": ..., "p99": ..., "max": ...},
+       "results": [ {"op": "ping", "count": ..., "ns_per_op": ...,
+                     "p50_ns": ..., "p99_ns": ...}, ... ] }
+
+   Emitted as BENCH_7.json (the committed artifact) by
+   `dune exec bench/bench7.exe -- --json > BENCH_7.json`. *)
+
+module P = Gncg_serve.Protocol
+module Session = Gncg_serve.Session
+module Server = Gncg_serve.Server
+module Client = Gncg_serve.Client
+module Json = Gncg_runs.Json
+
+let clients = 8
+let iterations = 20 (* per client; each iteration = ping + eq-check + br *)
+
+let model = Gncg_workload.Instances.Euclid { norm = L2; d = 2; box = 100.0 }
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("bench7: " ^ m); exit 1) fmt
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> fail "%s" (Gncg_util.Gncg_error.to_string e)
+
+(* Submit a query job and block until its terminal event: the unit of
+   "one request" for the query ops, queue wait included. *)
+let run_query c job =
+  let id, _attached = ok (Client.submit c job) in
+  ignore (ok (Client.watch c ~on_event:ignore id))
+
+let client_loop ~path ~record i =
+  let c = ok (Client.connect_unix ~path) in
+  for k = 0 to iterations - 1 do
+    let seed = 1 + ((i + (clients * k)) mod 32) in
+    let (), ping_s = time (fun () -> ignore (ok (Client.ping c))) in
+    record "ping" ping_s;
+    let (), eq_s =
+      time (fun () ->
+          run_query c
+            (P.Eq_check
+               {
+                 model;
+                 n = 6;
+                 alpha = 2.0;
+                 seed;
+                 check = Gncg.Equilibrium.GE;
+                 stabilize = false;
+               }))
+    in
+    record "eq-check" eq_s;
+    let (), br_s =
+      time (fun () ->
+          run_query c
+            (P.Best_response { model; n = 6; alpha = 2.0; seed; agent = k mod 6 }))
+    in
+    record "best-response" br_s
+  done;
+  Client.close c
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (q *. float_of_int (n - 1) +. 0.5)))
+
+let ns s = s *. 1e9
+
+let () =
+  let json = Array.exists (( = ) "--json") Sys.argv in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gncg-bench7-%d" (Unix.getpid ()))
+  in
+  let path = dir ^ ".sock" in
+  let session = Session.create ~state_dir:dir ~domains:2 () in
+  let server = Thread.create (fun () -> Server.serve_unix session ~path) () in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while not (Sys.file_exists path) do
+    if Unix.gettimeofday () > deadline then fail "daemon socket never appeared";
+    Thread.delay 0.01
+  done;
+  (* One warm-up client primes the host cache so the measured run sees
+     the steady state, not 32 host constructions. *)
+  client_loop ~path ~record:(fun _ _ -> ()) 0;
+  let mutex = Mutex.create () in
+  let samples : (string, float list ref) Hashtbl.t = Hashtbl.create 4 in
+  let record op s =
+    Mutex.lock mutex;
+    (match Hashtbl.find_opt samples op with
+    | Some l -> l := s :: !l
+    | None -> Hashtbl.replace samples op (ref [ s ]));
+    Mutex.unlock mutex
+  in
+  let (), elapsed =
+    time (fun () ->
+        let threads =
+          List.init clients (fun i -> Thread.create (client_loop ~path ~record) i)
+        in
+        List.iter Thread.join threads)
+  in
+  (let c = ok (Client.connect_unix ~path) in
+   ok (Client.shutdown c);
+   Client.close c);
+  Thread.join server;
+  let all =
+    Hashtbl.fold (fun _ l acc -> !l @ acc) samples []
+    |> Array.of_list
+  in
+  Array.sort compare all;
+  let total = Array.length all in
+  if total <> clients * iterations * 3 then
+    fail "expected %d requests, measured %d" (clients * iterations * 3) total;
+  let rps = float_of_int total /. elapsed in
+  let op_row op =
+    let l = Array.of_list !(Hashtbl.find samples op) in
+    Array.sort compare l;
+    let mean = Array.fold_left ( +. ) 0.0 l /. float_of_int (Array.length l) in
+    Json.Obj
+      [
+        ("op", Json.Str op);
+        ("count", Json.num_int (Array.length l));
+        ("ns_per_op", Json.Num (ns mean));
+        ("p50_ns", Json.Num (ns (percentile l 0.50)));
+        ("p99_ns", Json.Num (ns (percentile l 0.99)));
+      ]
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "gncg-bench-7");
+        ("generated_by", Json.Str "bench/bench7.exe --json");
+        ("clients", Json.num_int clients);
+        ("requests", Json.num_int total);
+        ("elapsed_s", Json.Num elapsed);
+        ("requests_per_s", Json.Num rps);
+        ( "latency_ns",
+          Json.Obj
+            [
+              ("p50", Json.Num (ns (percentile all 0.50)));
+              ("p90", Json.Num (ns (percentile all 0.90)));
+              ("p99", Json.Num (ns (percentile all 0.99)));
+              ("max", Json.Num (ns all.(total - 1)));
+            ] );
+        ( "results",
+          Json.List (List.map op_row [ "ping"; "eq-check"; "best-response" ]) );
+      ]
+  in
+  if json then print_endline (Json.to_string doc)
+  else begin
+    Printf.printf "bench7: %d clients, %d requests in %.2fs (%.0f req/s)\n" clients
+      total elapsed rps;
+    Printf.printf "  latency p50 %.2fms  p90 %.2fms  p99 %.2fms  max %.2fms\n"
+      (percentile all 0.50 *. 1e3)
+      (percentile all 0.90 *. 1e3)
+      (percentile all 0.99 *. 1e3)
+      (all.(total - 1) *. 1e3);
+    List.iter
+      (fun op ->
+        let l = Array.of_list !(Hashtbl.find samples op) in
+        Array.sort compare l;
+        Printf.printf "  %-14s %5d reqs  p50 %.2fms  p99 %.2fms\n" op (Array.length l)
+          (percentile l 0.50 *. 1e3)
+          (percentile l 0.99 *. 1e3))
+      [ "ping"; "eq-check"; "best-response" ]
+  end

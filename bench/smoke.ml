@@ -16,6 +16,53 @@ let fail fmt = Printf.ksprintf (fun msg -> prerr_endline ("bench-smoke: " ^ msg)
    baseline + speedup fields must be present.  Accepts gncg-bench-3
    (the committed PR-3 artifact) and gncg-bench-4, which additionally
    requires a counters object covering all four instrumented layers. *)
+(* gncg-bench-7 is the serve-throughput shape (see bench7.ml): no
+   baseline/speedup — the daemon has no single-op baseline — but the
+   fleet-level rates and latency quantiles must be present, positive,
+   and ordered. *)
+let validate_bench7_json path doc =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> fail "%s: %s" path e in
+  let module J = Gncg_runs.Json in
+  let* clients = Result.bind (J.member "clients" doc) J.get_int in
+  if clients < 8 then fail "%s: serve bench needs >= 8 concurrent clients, got %d" path clients;
+  let* requests = Result.bind (J.member "requests" doc) J.get_int in
+  let* rps = Result.bind (J.member "requests_per_s" doc) J.get_float in
+  if requests <= 0 then fail "%s: non-positive request count" path;
+  if Float.is_nan rps || rps <= 0.0 then fail "%s: invalid requests_per_s" path;
+  let* latency = J.member "latency_ns" doc in
+  let quantile name = Result.bind (J.member name latency) J.get_float in
+  let* p50 = quantile "p50" in
+  let* p90 = quantile "p90" in
+  let* p99 = quantile "p99" in
+  let* max_ns = quantile "max" in
+  List.iter
+    (fun (name, v) ->
+      if Float.is_nan v || v <= 0.0 then fail "%s: invalid latency %s" path name)
+    [ ("p50", p50); ("p90", p90); ("p99", p99); ("max", max_ns) ];
+  if not (p50 <= p90 && p90 <= p99 && p99 <= max_ns) then
+    fail "%s: latency quantiles out of order" path;
+  let* results = Result.bind (J.member "results" doc) J.get_list in
+  if results = [] then fail "%s: empty results" path;
+  let counted =
+    List.fold_left
+      (fun acc r ->
+        let* op = Result.bind (J.member "op" r) J.get_string in
+        let* count = Result.bind (J.member "count" r) J.get_int in
+        let* ns = Result.bind (J.member "ns_per_op" r) J.get_float in
+        let* row_p50 = Result.bind (J.member "p50_ns" r) J.get_float in
+        let* row_p99 = Result.bind (J.member "p99_ns" r) J.get_float in
+        if count <= 0 then fail "%s: %s has non-positive count" path op;
+        if Float.is_nan ns || ns <= 0.0 then fail "%s: %s has invalid ns_per_op" path op;
+        if not (row_p50 > 0.0 && row_p50 <= row_p99) then
+          fail "%s: %s has inconsistent latency quantiles" path op;
+        acc + count)
+      0 results
+  in
+  if counted <> requests then
+    fail "%s: per-op counts sum to %d but requests is %d" path counted requests;
+  Printf.printf "bench-smoke: %s valid (%d clients, %.0f req/s, p99 %.2fms)\n%!" path
+    clients rps (p99 /. 1e6)
+
 let validate_bench_json path =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> fail "%s: %s" path e in
   let text =
@@ -28,8 +75,10 @@ let validate_bench_json path =
   let module J = Gncg_runs.Json in
   let* doc = J.parse (String.trim text) in
   let* schema = Result.bind (J.member "schema" doc) J.get_string in
-  if schema <> "gncg-bench-3" && schema <> "gncg-bench-4" then
-    fail "%s: unexpected schema %S" path schema;
+  if schema <> "gncg-bench-3" && schema <> "gncg-bench-4" && schema <> "gncg-bench-7"
+  then fail "%s: unexpected schema %S" path schema;
+  if schema = "gncg-bench-7" then validate_bench7_json path doc
+  else begin
   if schema = "gncg-bench-4" then begin
     (* The instrumented pass must have ticked at least one probe in each
        of the four engine layers (distance core, net state, dynamics,
@@ -70,6 +119,7 @@ let validate_bench_json path =
       fail "%s: speedup_vs_baseline inconsistent with the macro row" path);
   Printf.printf "bench-smoke: %s valid (%d results, %.2fx vs baseline)\n%!" path
     (List.length results) speedup
+  end
 
 (* Chaos smoke (`--chaos`): a seeded fault-injection batch must classify
    faults exactly as the plan predicts, recover flaky jobs through

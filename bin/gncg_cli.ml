@@ -298,7 +298,7 @@ let sweep_status journal common =
   let (_ : Gncg_util.Exec.t) = Common.setup ~verb:"sweep status" ~accepts:[] common in
   let path = require_journal journal in
   match Gncg_runs.Batch.status ~journal:path with
-  | Ok (manifest, progress) ->
+  | Ok (manifest, progress, crashes) ->
     Printf.printf "journal            %s\n" path;
     Printf.printf "model              %s\n" manifest.Gncg_runs.Journal.model;
     Printf.printf "rule / evaluator   %s / %s\n"
@@ -314,7 +314,21 @@ let sweep_status journal common =
       progress.Gncg_runs.Batch.diverged;
     Printf.printf "pending            %d (of which timeout %d, crashed %d)\n"
       (progress.Gncg_runs.Batch.total - progress.Gncg_runs.Batch.skipped)
-      progress.Gncg_runs.Batch.timeout progress.Gncg_runs.Batch.crashed
+      progress.Gncg_runs.Batch.timeout progress.Gncg_runs.Batch.crashed;
+    (* The journal embeds the crash message (and, when backtrace
+       recording was on, the frames); surface both instead of a bare
+       count so a post-mortem needs no journal spelunking. *)
+    List.iter
+      (fun (hash, detail) ->
+        match String.split_on_char '\n' detail with
+        | [] -> ()
+        | msg :: frames ->
+          Printf.printf "crashed            %s: %s\n" hash msg;
+          List.iter
+            (fun frame ->
+              if String.trim frame <> "" then Printf.printf "                     %s\n" frame)
+            frames)
+      crashes
   | Error msg ->
     Printf.eprintf "status failed: %s\n" msg;
     exit 1
@@ -574,9 +588,296 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"network statistics of optimum / MST / equilibrium designs")
     Term.(const stats $ model_arg $ n_arg $ alpha_arg $ seed_arg $ Common.term)
 
+(* --- serve / client ----------------------------------------------------- *)
+
+(* The daemon and its CLI client (lib/serve): a long-lived experiment
+   service over a Unix-domain socket speaking the versioned
+   line-delimited JSON protocol of docs/SERVE.md. *)
+
+module SP = Gncg_serve.Protocol
+
+let socket_arg =
+  Arg.(value
+       & opt string "gncg.sock"
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path")
+
+let state_dir_arg =
+  Arg.(value
+       & opt string "gncg-serve-state"
+       & info [ "state-dir" ] ~docv:"DIR"
+           ~doc:
+             "directory for the daemon's sweep journals; restarting on the same \
+              directory resumes interrupted sweeps instead of recomputing them")
+
+let serve socket state_dir stdio trace_stream budget retries common =
+  let exec = Common.setup ~verb:"serve" ~accepts:Common.all common in
+  let domains = Gncg_util.Exec.domain_count exec in
+  let session =
+    Gncg_serve.Session.create ~state_dir ~domains ?budget ~retries ~trace_stream ()
+  in
+  if stdio then Gncg_serve.Server.serve_stdio session stdin stdout
+  else begin
+    Printf.eprintf "gncg serve: listening on %s (state dir %s, %d domains)\n%!" socket
+      state_dir domains;
+    Gncg_serve.Server.serve_unix session ~path:socket;
+    Printf.eprintf "gncg serve: drained, bye\n%!"
+  end
+
+let stdio_flag =
+  Arg.(value
+       & flag
+       & info [ "stdio" ]
+           ~doc:"speak the protocol on stdin/stdout instead of a socket (for tests)")
+
+let trace_stream_flag =
+  Arg.(value
+       & flag
+       & info [ "trace-stream" ]
+           ~doc:
+             "relay engine observability events onto each running job's event \
+              stream, for clients watching with --trace (mutually exclusive with \
+              --trace FILE: the stream sink replaces the file sink)")
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "run the experiment daemon: submit/watch/cancel jobs over a Unix-domain \
+          socket; sweeps are journaled under --state-dir and survive kill-and-restart")
+    Term.(const serve $ socket_arg $ state_dir_arg $ stdio_flag $ trace_stream_flag
+          $ budget_arg $ retries_arg $ Common.term)
+
+(* Client verbs.  Diagnostics and progress go to stderr; stdout carries
+   only the payload (CSV, JSON) so pipes compose. *)
+
+let die_error e =
+  Printf.eprintf "%s\n" (Gncg_util.Gncg_error.to_string e);
+  exit 1
+
+let with_client socket f =
+  match Gncg_serve.Client.connect_unix ~path:socket with
+  | Error e -> die_error e
+  | Ok c ->
+    let result = f c in
+    Gncg_serve.Client.close c;
+    (match result with Ok () -> () | Error e -> die_error e)
+
+let ( let* ) = Result.bind
+
+let jint key j =
+  match Result.bind (Gncg_runs.Json.member key j) Gncg_runs.Json.get_int with
+  | Ok i -> i
+  | Error _ -> 0
+
+let client_setup verb common =
+  let (_ : Gncg_util.Exec.t) =
+    Common.setup ~verb:("client " ^ verb) ~accepts:[] common
+  in
+  ()
+
+let client_ping socket common =
+  client_setup "ping" common;
+  with_client socket (fun c ->
+      let* uptime = Gncg_serve.Client.ping c in
+      Printf.printf "pong (daemon up %.1fs)\n" uptime;
+      Ok ())
+
+let client_sweep socket model ns alphas seeds rule evaluator max_steps budget retries
+    common =
+  client_setup "sweep" common;
+  with_client socket (fun c ->
+      let config =
+        Gncg_runs.Batch.config ~rule ~evaluator ~max_steps model ~ns ~alphas
+          ~seeds:(List.init seeds (fun s -> s + 1))
+      in
+      let job = SP.Sweep { config; budget; retries = Some retries } in
+      let* id, attached = Gncg_serve.Client.submit c job in
+      Printf.eprintf "job %s%s\n%!" id (if attached then " (attached)" else "");
+      let summary = ref None in
+      let* _done_data =
+        Gncg_serve.Client.watch c
+          ~on_event:(fun e ->
+            match e.SP.name with "summary" -> summary := Some e.SP.data | _ -> ())
+          id
+      in
+      (match !summary with
+      | Some s ->
+        (* "re-executed" is the resume contract: after a kill-and-restart
+           it counts exactly the jobs the journal was missing. *)
+        Printf.eprintf
+          "sweep %s: total %d, re-executed %d, skipped %d, completed %d, diverged \
+           %d, timeout %d, crashed %d, retries %d\n%!"
+          id (jint "total" s) (jint "executed" s) (jint "skipped" s)
+          (jint "completed" s) (jint "diverged" s) (jint "timeout" s)
+          (jint "crashed" s) (jint "retries" s)
+      | None -> Printf.eprintf "sweep %s: no summary event (job failed?)\n%!" id);
+      let* csv = Gncg_serve.Client.fetch_csv c id in
+      print_string csv;
+      Ok ())
+
+let check_kind_conv =
+  let parse s = Result.map_error (fun e -> `Msg (Gncg_util.Gncg_error.to_string e))
+      (SP.check_of_string s)
+  in
+  Arg.conv ~docv:"CHECK" (parse, fun fmt k -> Format.pp_print_string fmt (SP.check_to_string k))
+
+let check_kind_arg =
+  Arg.(value & opt check_kind_conv Gncg.Equilibrium.GE & info [ "check" ] ~doc:"ne | ge | ae")
+
+let stabilize_flag =
+  Arg.(value
+       & flag
+       & info [ "stabilize" ]
+           ~doc:"run greedy dynamics to a stable state first and check that")
+
+let watch_to_done c id ~pick =
+  let found = ref None in
+  let* _done_data =
+    Gncg_serve.Client.watch c
+      ~on_event:(fun e -> match pick e with Some v -> found := Some v | None -> ())
+      id
+  in
+  match !found with
+  | Some v -> Ok v
+  | None ->
+    Gncg_util.Gncg_error.fail ~context:"gncg client" Internal
+      "job finished without its result event (see gncg client status)"
+
+let client_check socket model n alpha seed check stabilize common =
+  client_setup "check" common;
+  with_client socket (fun c ->
+      let* id, _ =
+        Gncg_serve.Client.submit c
+          (SP.Eq_check { model; n; alpha; seed; check; stabilize })
+      in
+      let* data =
+        watch_to_done c id ~pick:(fun e ->
+            if e.SP.name = "verdict" then Some e.SP.data else None)
+      in
+      print_endline (Gncg_runs.Json.to_string data);
+      Ok ())
+
+let agent_arg =
+  Arg.(value & opt int 0 & info [ "agent" ] ~doc:"agent index for the best-response probe")
+
+let client_br socket model n alpha seed agent common =
+  client_setup "br" common;
+  with_client socket (fun c ->
+      let* id, _ =
+        Gncg_serve.Client.submit c (SP.Best_response { model; n; alpha; seed; agent })
+      in
+      let* data =
+        watch_to_done c id ~pick:(fun e ->
+            if e.SP.name = "best-response" then Some e.SP.data else None)
+      in
+      print_endline (Gncg_runs.Json.to_string data);
+      Ok ())
+
+let job_id_opt_arg =
+  Arg.(value & opt (some string) None & info [ "job" ] ~docv:"ID" ~doc:"job id")
+
+let require_job = function
+  | Some id -> id
+  | None ->
+    prerr_endline "a --job id is required for this subcommand";
+    exit 1
+
+let client_status socket job common =
+  client_setup "status" common;
+  with_client socket (fun c ->
+      let* data = Gncg_serve.Client.status c ?job () in
+      print_endline (Gncg_runs.Json.to_string data);
+      Ok ())
+
+let since_arg =
+  Arg.(value & opt int 0 & info [ "since" ] ~doc:"replay only events with seq > N")
+
+let trace_flag =
+  Arg.(value
+       & flag
+       & info [ "trace" ]
+           ~doc:"include the obs events the daemon relays when run with --trace-stream")
+
+let client_watch socket job since trace common =
+  client_setup "watch" common;
+  let id = require_job job in
+  with_client socket (fun c ->
+      let* _done_data =
+        Gncg_serve.Client.watch c ~since ~trace
+          ~on_event:(fun e ->
+            print_endline
+              (Gncg_runs.Json.to_string
+                 (Gncg_runs.Json.Obj
+                    [
+                      ("seq", Gncg_runs.Json.num_int e.SP.seq);
+                      ("event", Gncg_runs.Json.Str e.SP.name);
+                      ("data", e.SP.data);
+                    ])))
+          id
+      in
+      Ok ())
+
+let client_cancel socket job common =
+  client_setup "cancel" common;
+  let id = require_job job in
+  with_client socket (fun c ->
+      let* cancelled = Gncg_serve.Client.cancel c id in
+      Printf.printf "%s\n" (if cancelled then "cancelled" else "not cancellable");
+      Ok ())
+
+let client_fetch socket job common =
+  client_setup "fetch" common;
+  let id = require_job job in
+  with_client socket (fun c ->
+      let* csv = Gncg_serve.Client.fetch_csv c id in
+      print_string csv;
+      Ok ())
+
+let client_shutdown socket common =
+  client_setup "shutdown" common;
+  with_client socket (fun c ->
+      let* () = Gncg_serve.Client.shutdown c in
+      Printf.eprintf "daemon drained and stopping\n%!";
+      Ok ())
+
+let client_cmd =
+  let sub name doc term = Cmd.v (Cmd.info name ~doc) term in
+  Cmd.group
+    (Cmd.info "client" ~doc:"talk to a running gncg serve daemon")
+    [
+      sub "ping" "round-trip the daemon"
+        Term.(const client_ping $ socket_arg $ Common.term);
+      sub "sweep"
+        "submit a journaled sweep, stream it to completion, print the CSV \
+         (byte-identical to gncg sweep run --format csv)"
+        Term.(const client_sweep $ socket_arg $ model_arg $ ns_arg $ alphas_arg
+              $ seeds_arg $ rule_arg $ evaluator_arg $ max_steps_arg $ budget_arg
+              $ retries_arg $ Common.term);
+      sub "check" "equilibrium check on a seeded random instance"
+        Term.(const client_check $ socket_arg $ model_arg $ n_arg $ alpha_arg
+              $ seed_arg $ check_kind_arg $ stabilize_flag $ Common.term);
+      sub "br" "best-response probe for one agent on a seeded random instance"
+        Term.(const client_br $ socket_arg $ model_arg $ n_arg $ alpha_arg $ seed_arg
+              $ agent_arg $ Common.term);
+      sub "status" "job table and daemon gauges (or one job with --job)"
+        Term.(const client_status $ socket_arg $ job_id_opt_arg $ Common.term);
+      sub "watch" "replay and follow a job's event stream as JSON lines"
+        Term.(const client_watch $ socket_arg $ job_id_opt_arg $ since_arg
+              $ trace_flag $ Common.term);
+      sub "cancel" "cancel a queued job"
+        Term.(const client_cancel $ socket_arg $ job_id_opt_arg $ Common.term);
+      sub "fetch" "print a completed sweep's CSV"
+        Term.(const client_fetch $ socket_arg $ job_id_opt_arg $ Common.term);
+      sub "shutdown" "gracefully drain and stop the daemon"
+        Term.(const client_shutdown $ socket_arg $ Common.term);
+    ]
+
 let () =
   let doc = "Geometric Network Creation Games engine" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "gncg" ~doc)
-          [ sweep_cmd; construct_cmd; cycles_cmd; br_cmd; stats_cmd; check_cmd ]))
+          [
+            sweep_cmd; construct_cmd; cycles_cmd; br_cmd; stats_cmd; check_cmd;
+            serve_cmd; client_cmd;
+          ]))

@@ -74,6 +74,18 @@ let jsonl oc =
   in
   { emit; flush = (fun () -> flush oc) }
 
+let callback f =
+  (* The contract says emit must never raise: the engine's probes fire
+     from arbitrary internals, so a forwarding failure is swallowed. *)
+  let emit e = try f e with _ -> () in
+  { emit; flush = ignore }
+
+let tee a b =
+  {
+    emit = (fun e -> a.emit e; b.emit e);
+    flush = (fun () -> a.flush (); b.flush ());
+  }
+
 let memory () =
   let m = Mutex.create () in
   let events = ref [] in

@@ -38,6 +38,16 @@ val memory : unit -> t * (unit -> event list)
 (** In-memory capture for tests: the second component returns the
     events emitted so far, in emission order. *)
 
+val callback : (event -> unit) -> t
+(** Forwards every event to the function — the streaming seam the serve
+    daemon uses to relay trace events to watching clients.  The callback
+    must be thread-safe (events arrive from several domains); exceptions
+    it raises are swallowed, honouring the emit-never-raises contract. *)
+
+val tee : t -> t -> t
+(** Duplicates every event (and flush) to both sinks, in order — lets a
+    streaming subscriber coexist with a trace file. *)
+
 val event_to_json : event -> string
 (** The single-line JSON rendering used by {!jsonl} (exposed so tests
     and other front ends can share the encoding). *)

@@ -83,12 +83,15 @@ let entry_of_report job (report : Sweep.run Scheduler.report) =
    merges with the already-terminal entries, in job order.  [exec] is the
    fault-injection seam: production always passes [Job.execute]; the
    chaos harness wraps it. *)
-let run_pending ?domains ?budget ?retries ?(exec = Job.execute) journal_handle all_jobs
-    terminal pending =
+let run_pending ?domains ?budget ?retries ?(exec = Job.execute) ?on_result:notify
+    journal_handle all_jobs terminal pending =
   let on_result job report =
-    match journal_handle with
+    (match journal_handle with
     | None -> ()
-    | Some j -> Journal.append j (entry_of_report job report)
+    | Some j -> Journal.append j (entry_of_report job report));
+    (* Journal first, then notify: a subscriber crash (the streaming
+       seam is caller code) must never lose the durable record. *)
+    match notify with None -> () | Some f -> f job report
   in
   let reports =
     Scheduler.run ?domains ?budget ?retries
@@ -140,20 +143,20 @@ let run_pending ?domains ?budget ?retries ?(exec = Job.execute) journal_handle a
   in
   { runs; progress }
 
-let run ?domains ?budget ?retries ?exec ?journal c =
+let run ?domains ?budget ?retries ?exec ?on_result ?journal c =
   let all_jobs = jobs c in
   let handle = Option.map (fun path -> Journal.create path (manifest c)) journal in
   let result =
     Fun.protect
       ~finally:(fun () -> Option.iter Journal.close handle)
-      (fun () -> run_pending ?domains ?budget ?retries ?exec handle all_jobs
+      (fun () -> run_pending ?domains ?budget ?retries ?exec ?on_result handle all_jobs
           (Hashtbl.create 0) all_jobs)
   in
   result
 
 let ( let* ) = Result.bind
 
-let resume ?domains ?budget ?retries ?exec ~journal () =
+let resume ?domains ?budget ?retries ?exec ?on_result ~journal () =
   let* handle, loaded = Journal.append_to journal in
   let* all_jobs = Journal.manifest_jobs loaded.Journal.manifest in
   let terminal = Journal.terminal loaded.Journal.entries in
@@ -164,8 +167,8 @@ let resume ?domains ?budget ?retries ?exec ~journal () =
     Fun.protect
       ~finally:(fun () -> Journal.close handle)
       (fun () ->
-        run_pending ?domains ?budget ?retries ?exec (Some handle) all_jobs terminal
-          pending)
+        run_pending ?domains ?budget ?retries ?exec ?on_result (Some handle) all_jobs
+          terminal pending)
   in
   Ok result
 
@@ -182,13 +185,18 @@ let status ~journal =
   let latest = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.replace latest e.Journal.job e) loaded.Journal.entries;
   let timeout = ref 0 and crashed = ref 0 in
+  let crashes = ref [] in
   List.iter
     (fun job ->
       let h = Job.hash job in
       if not (Hashtbl.mem terminal h) then
         match Hashtbl.find_opt latest h with
         | Some { Journal.status = Timeout; _ } -> incr timeout
-        | Some { Journal.status = Crashed _; _ } -> incr crashed
+        | Some { Journal.status = Crashed detail; _ } ->
+          incr crashed;
+          (* [detail] is the journaled message, with the backtrace frames
+             appended when recording was on — see [entry_of_report]. *)
+          crashes := (h, detail) :: !crashes
         | _ -> ())
     all_jobs;
   let progress =
@@ -203,4 +211,4 @@ let status ~journal =
       retries = 0;
     }
   in
-  Ok (loaded.Journal.manifest, progress)
+  Ok (loaded.Journal.manifest, progress, List.rev !crashes)

@@ -57,6 +57,7 @@ val run :
   ?budget:float ->
   ?retries:int ->
   ?exec:(Job.spec -> Gncg_workload.Sweep.run) ->
+  ?on_result:(Job.spec -> Gncg_workload.Sweep.run Scheduler.report -> unit) ->
   ?journal:string ->
   config ->
   summary
@@ -64,13 +65,18 @@ val run :
     [journal], creates/truncates the file first and appends every result
     as it lands, so the batch can be killed and picked up by {!resume}.
     [exec] (default {!Job.execute}) is the fault-injection seam the
-    {!Chaos} harness wraps; production callers never pass it. *)
+    {!Chaos} harness wraps; production callers never pass it.
+    [on_result] fires once per freshly executed job as it lands,
+    serialized under the scheduler's result lock and {e after} the
+    journal append — the streaming seam the serve daemon relays per-job
+    results from. *)
 
 val resume :
   ?domains:int ->
   ?budget:float ->
   ?retries:int ->
   ?exec:(Job.spec -> Gncg_workload.Sweep.run) ->
+  ?on_result:(Job.spec -> Gncg_workload.Sweep.run Scheduler.report -> unit) ->
   journal:string ->
   unit ->
   (summary, string) result
@@ -78,8 +84,15 @@ val resume :
     executes only the jobs with no terminal entry ([Timeout]/[Crashed]
     entries are retried; [Completed]/[Diverged] are skipped).  Journaled
     and fresh results are merged in job order, so an interrupted-then-
-    resumed sweep reports exactly what an uninterrupted one would. *)
+    resumed sweep reports exactly what an uninterrupted one would.
+    [on_result] fires only for the re-executed jobs. *)
 
-val status : journal:string -> (Journal.manifest * progress, string) result
+val status :
+  journal:string ->
+  (Journal.manifest * progress * (string * string) list, string) result
 (** Read-only: the manifest plus classification counts ([executed] is 0
-    by construction — nothing runs). *)
+    by construction — nothing runs).  The third component lists, per
+    still-pending job whose latest journaled classification is a crash,
+    its [(job hash, crash detail)] — the detail is the
+    {!Scheduler.crash} message with the recorded backtrace appended, so
+    [gncg sweep status] can print what actually went wrong. *)

@@ -85,6 +85,33 @@ val location_to_string : location -> string
 val to_string : t -> string
 (** One line: [context: kind[ at location]: message]. *)
 
+(** {1 Wire encoding}
+
+    A flat, codec-agnostic key/value form for shipping errors across a
+    process boundary (the serve protocol renders it as a JSON object).
+    Unlike the display strings above, these are an exact round-trip
+    contract: [of_wire (to_wire e) = Ok e] for every [e]. *)
+
+val kind_to_wire : kind -> string
+(** Stable machine slug, e.g. ["not-finite"] — distinct from
+    {!kind_to_string}, which is a display form. *)
+
+val kind_of_wire : string -> (kind, string) result
+
+val location_to_wire : location -> string
+(** Compact single-string form (["pair:3:7"], ["file-line:12:PATH"]);
+    empty for [Nowhere].  File paths are placed last so embedded [':']
+    cannot confuse the parse. *)
+
+val location_of_wire : string -> (location, string) result
+
+val to_wire : t -> (string * string) list
+(** [[("kind", _); ("context", _); ("message", _); ("where", _)]]. *)
+
+val of_wire : (string * string) list -> (t, string) result
+(** Tolerant of missing [context]/[message]/[where] (defaulted empty);
+    [kind] is required. *)
+
 val pp : Format.formatter -> t -> unit
 
 (** {1 Strict validation mode}

@@ -9,7 +9,12 @@ let set_default_domains = function
 
 let default_domains () =
   let o = Atomic.get override in
-  if o > 0 then o else min 8 (Domain.recommended_domain_count ())
+  if o > 0 then o
+  else
+    (* Leave one hardware thread for the orchestrating domain (the CLI
+       main loop, the serve daemon's accept/connection threads): a pool
+       that takes every core starves the producer feeding it. *)
+    max 1 (Domain.recommended_domain_count () - 1)
 
 let init ?domains n f =
   if n < 0 then invalid_arg "Parallel.init";

@@ -9,7 +9,9 @@
 
 val default_domains : unit -> int
 (** The process-wide override when set (see {!set_default_domains}),
-    otherwise [Domain.recommended_domain_count ()] capped at 8. *)
+    otherwise [Domain.recommended_domain_count () - 1] (never below 1):
+    one hardware thread is left for the orchestrating domain — the CLI
+    main loop or the serve daemon's connection threads. *)
 
 val set_default_domains : int option -> unit
 (** Overrides the process-wide default domain count used whenever a

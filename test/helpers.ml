@@ -10,6 +10,13 @@ let check_true name b = Alcotest.(check bool) name true b
 
 let check_false name b = Alcotest.(check bool) name false b
 
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  nl = 0
+  ||
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
 let case name f = Alcotest.test_case name `Quick f
 
 let slow_case name f = Alcotest.test_case name `Slow f

@@ -383,10 +383,32 @@ let test_batch_status () =
   let _ = R.Batch.run ~journal:path batch_config in
   (match R.Batch.status ~journal:path with
   | Error e -> Alcotest.failf "status failed: %s" e
-  | Ok (manifest, progress) ->
+  | Ok (manifest, progress, crashes) ->
     Alcotest.(check int) "manifest jobs" 6 manifest.R.Journal.jobs;
     Alcotest.(check int) "all terminal" 6 progress.R.Batch.skipped;
-    Alcotest.(check int) "status executes nothing" 0 progress.R.Batch.executed);
+    Alcotest.(check int) "status executes nothing" 0 progress.R.Batch.executed;
+    Alcotest.(check int) "no crash details on a clean batch" 0 (List.length crashes));
+  Sys.remove path
+
+let test_batch_status_surfaces_crashes () =
+  (* A batch whose executor always throws journals six Crashed entries;
+     status must both count them and surface the per-job detail
+     (message + backtrace when recorded). *)
+  let path = Filename.temp_file "gncg_test" ".jsonl" in
+  let boom _ = failwith "injected executor crash" in
+  let summary = R.Batch.run ~journal:path ~exec:boom batch_config in
+  Alcotest.(check int) "all six crashed" 6 summary.progress.crashed;
+  (match R.Batch.status ~journal:path with
+  | Error e -> Alcotest.failf "status failed: %s" e
+  | Ok (_, progress, crashes) ->
+    Alcotest.(check int) "crashed count" 6 progress.R.Batch.crashed;
+    Alcotest.(check int) "one detail per crashed job" 6 (List.length crashes);
+    List.iter
+      (fun (hash, detail) ->
+        Alcotest.(check int) "hash is 16 hex digits" 16 (String.length hash);
+        check_true "detail carries the exception message"
+          (contains detail "injected executor crash"))
+      crashes);
   Sys.remove path
 
 let suites =
@@ -410,5 +432,6 @@ let suites =
         case "ws_deque concurrent conservation" test_ws_deque_concurrent_conservation;
         case "batch kill-and-resume" test_batch_kill_and_resume;
         case "batch status" test_batch_status;
+        case "batch status surfaces crash details" test_batch_status_surfaces_crashes;
       ] );
   ]
