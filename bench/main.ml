@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- --no-timings # experiments only
      dune exec bench/main.exe -- --timings    # timings only
      dune exec bench/main.exe -- --json PATH  # BENCH_4.json only (see bench4.ml)
+     dune exec bench/main.exe -- --json PATH --n 200  # ...at instance size 200
      dune exec bench/main.exe -- --domains 4  # worker domains for the Par paths
      dune exec bench/main.exe -- --trace FILE # JSONL observability trace
      dune exec bench/main.exe -- --profile    # counter summary on stderr at exit *)
@@ -20,6 +21,19 @@ let () =
       | [] -> (List.rev acc, None)
     in
     strip_json [] args
+  in
+  let args, bench_n =
+    let rec strip_n acc = function
+      | "--n" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some k when k >= 2 -> (List.rev_append acc rest, Some k)
+        | _ ->
+          prerr_endline ("bench: --n expects an integer >= 2, got " ^ v);
+          exit 2)
+      | a :: rest -> strip_n (a :: acc) rest
+      | [] -> (List.rev acc, None)
+    in
+    strip_n [] args
   in
   let args, trace_path =
     let rec strip_trace acc = function
@@ -63,7 +77,7 @@ let () =
     else List.filter (fun (id, _) -> List.mem id selected) Experiments.all
   in
   match json_path with
-  | Some path -> Bench4.run ~path
+  | Some path -> Bench4.run ?n:bench_n ~path ()
   | None ->
     print_endline "Geometric Network Creation Games — reproduction harness";
     print_endline "(paper: Bilo, Friedrich, Lenzner, Melnichenko, SPAA 2019)";

@@ -253,6 +253,40 @@ let best_move_state_verdict ?(kinds = [ `Add; `Delete; `Swap ]) st ~agent =
 
 let best_move_state ?kinds st ~agent = fst (best_move_state_verdict ?kinds st ~agent)
 
+(* --- geometric shortcut ------------------------------------------------- *)
+
+let c_nearest_evals = Metric.Counter.make "fast_response.nearest_evals"
+
+let nearest_addable_target st ~agent =
+  let host = Net_state.host st in
+  let s = Net_state.profile st in
+  Net_state.nearest_target st ~accept:(fun v -> Move.addable host s ~agent v) agent
+
+(* When the state's backend carries a geometric index (the R^d oracle's
+   k-d tree), rank addable targets by host distance without the O(n)
+   scan: the nearest addable point is the natural greedy candidate —
+   its edge is the cheapest to buy — and its exact gain is one O(n)
+   streaming kernel.  This is a heuristic shortlist (the gain-optimal
+   add can differ), so callers needing exactness keep the full scan. *)
+let best_add_nearest st ~agent =
+  match nearest_addable_target st ~agent with
+  | None -> None
+  | Some (v, w) ->
+    Metric.Counter.incr c_nearest_evals;
+    let host = Net_state.host st in
+    let cur_cost =
+      Cost.agent_edge_cost host (Net_state.profile st) agent
+      +. Net_state.agent_dist_sum st agent
+    in
+    let alpha = Host.alpha host in
+    let cost' =
+      (cur_cost -. Net_state.agent_dist_sum st agent)
+      +. (alpha *. w)
+      +. Net_state.dist_sum_with_edge st agent v w
+    in
+    let gain = gain_between cur_cost cost' in
+    if gain > Flt.eps then Some (Move.Add v, gain) else None
+
 let round_add_gains host s =
   let g = Network.graph host s in
   let n = Strategy.n s in

@@ -54,6 +54,18 @@ val best_move_state_verdict :
     basis of the dirty-agent skipping in {!Dynamics} and
     {!Equilibrium}. *)
 
+val nearest_addable_target : Net_state.t -> agent:int -> (int * float) option
+(** The geometrically nearest vertex the agent could buy an edge to,
+    with its host distance — answered by the backend's k-d index when
+    the state runs on the R^d oracle ([None] on matrix backends, which
+    have no geometric index, or when nothing is addable). *)
+
+val best_add_nearest : Net_state.t -> agent:int -> (Move.t * float) option
+(** Exact gain of adding the edge to the nearest addable target — one
+    O(log n) index query plus one O(n) streaming kernel, against the
+    full scan's n kernels.  A greedy shortlist, not a replacement for
+    {!best_move_state}: the gain-optimal addition can differ. *)
+
 val round_add_gains : Host.t -> Strategy.t -> (int * int * float) list
 (** [(agent, target, gain)] for every improving addition of every agent,
     from a single all-pairs pass — the batch primitive for add-only

@@ -1,13 +1,23 @@
-type t = { metric : Gncg_metric.Metric.t; alpha : float }
+type t = {
+  metric : Gncg_metric.Metric.t;
+  alpha : float;
+  geometry : Gncg_metric.Geometry.t option;
+}
 
-let make ~alpha metric =
+let make ?geometry ~alpha metric =
   if alpha <= 0.0 || not (Float.is_finite alpha) then
     invalid_arg "Host.make: alpha must be positive and finite";
-  { metric; alpha }
+  (match geometry with
+  | Some g when Gncg_metric.Geometry.n g <> Gncg_metric.Metric.n metric ->
+    invalid_arg "Host.make: geometry/metric size mismatch"
+  | _ -> ());
+  { metric; alpha; geometry }
 
 let metric t = t.metric
 
 let alpha t = t.alpha
+
+let geometry t = t.geometry
 
 let n t = Gncg_metric.Metric.n t.metric
 
@@ -15,7 +25,7 @@ let weight t u v = Gncg_metric.Metric.weight t.metric u v
 
 let edge_price t u v = t.alpha *. weight t u v
 
-let with_alpha alpha t = make ~alpha t.metric
+let with_alpha alpha t = make ?geometry:t.geometry ~alpha t.metric
 
 module Gncg_error = Gncg_util.Gncg_error
 

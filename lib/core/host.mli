@@ -5,12 +5,18 @@
 
 type t
 
-val make : alpha:float -> Gncg_metric.Metric.t -> t
-(** Requires [alpha > 0]. *)
+val make : ?geometry:Gncg_metric.Geometry.t -> alpha:float -> Gncg_metric.Metric.t -> t
+(** Requires [alpha > 0].  An attached [?geometry] records the implicit
+    structure (tree / point set) the metric was tabulated from, letting
+    {!Net_state} select an oracle distance backend that never
+    materializes the O(n²) matrix; sizes must agree. *)
 
 val metric : t -> Gncg_metric.Metric.t
 
 val alpha : t -> float
+
+val geometry : t -> Gncg_metric.Geometry.t option
+(** The implicit description, when the host was built from one. *)
 
 val n : t -> int
 

@@ -3,8 +3,10 @@
     Response dynamics mutate the network one edge at a time; rebuilding
     [Network.graph] and re-running Dijkstra after every step is the
     engine's historic bottleneck.  A [Net_state.t] pairs the current
-    strategy profile with an {!Gncg_graph.Incr_apsp.t} tracking its
-    network, so that
+    strategy profile with a {!Gncg_graph.Distances.t} backend tracking
+    its network — the dense incremental matrix by default, or (when the
+    host carries a {!Gncg_metric.Geometry.t} and the backend allows) an
+    implicit oracle that never materializes O(n²) floats — so that
 
     - applying a move costs O(n²) (insertion) or one Dijkstra pass per
       affected source (deletion) instead of a full rebuild + APSP,
@@ -34,9 +36,32 @@ type changes = {
   full : bool;
 }
 
-val create : Host.t -> Strategy.t -> t
-(** Builds the network of the profile and its full distance matrix:
-    O(n · (m + n log n)) once, amortized over the whole run. *)
+val create :
+  ?backend:Gncg_graph.Distances.spec -> ?require_mutable:bool -> Host.t -> Strategy.t -> t
+(** Builds the network of the profile and a distance backend over it.
+
+    [?backend] defaults to {!Gncg_graph.Distances.default_spec} (the
+    CLI's [--dist-backend], [Auto] out of the box).  Resolution:
+    [Dense] / [Mmap] wrap the network in the corresponding incremental
+    engine; [Tree] requires the network to be a connected tree; [Rd]
+    requires point-set geometry on the host and a complete network;
+    [Auto] picks the tree oracle when the network {e is} the host's
+    tree, the R^d oracle when the network is complete over point-set
+    geometry, and dense otherwise.
+
+    [~require_mutable:true] (dynamics and anything else that will push
+    moves through the state) degrades read-only oracle selections to
+    dense — counted on [net_state.backend_fallbacks] — instead of
+    raising {!Gncg_graph.Distances.Unsupported} mid-run.
+
+    Dense cost: O(n · (m + n log n)) once, amortized over the run; the
+    oracles cost O(n log n) / O(n·d) and never allocate a matrix. *)
+
+val distances : t -> Gncg_graph.Distances.t
+(** The live distance backend (benches, tests, sentinel tooling). *)
+
+val backend_id : t -> string
+(** ["dense" | "tree" | "rd" | "mmap"]. *)
 
 val host : t -> Host.t
 
@@ -64,6 +89,12 @@ val dist_sum_with_edge : t -> int -> int -> float -> float
 
 val min_sum_against : t -> float array -> int -> float -> float
 (** See {!Gncg_graph.Incr_apsp.min_sum_against}. *)
+
+val nearest_target : t -> ?accept:(int -> bool) -> int -> (int * float) option
+(** Nearest other vertex passing [accept], when the backend has a
+    geometric index (the R^d oracle's k-d tree); [None] otherwise.  The
+    shortcut {!Fast_response} uses to rank addable targets without an
+    O(n) scan. *)
 
 val agent_cost : t -> int -> float
 (** Edge price plus the agent's distance sum, served from the per-agent

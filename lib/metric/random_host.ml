@@ -22,6 +22,28 @@ let uniform_metric rng ~n ~lo ~hi =
   checked ~context:"Random_host.uniform_metric" ~require_metric:true
     (Metric.metric_closure (uniform rng ~n ~lo ~hi))
 
+(* Geometric hosts keep their implicit description: the callers that can
+   (oracle backends, large-n benches) consume the geometry directly and
+   never pay the O(n²) tabulation of [Geometry.to_metric]. *)
+
+let tree_geometry rng ~n ~wmin ~wmax =
+  Geometry.tree (Tree_metric.random rng ~n ~wmin ~wmax)
+
+let euclidean_geometry ?(norm = Euclidean.L2) rng ~n ~d ~lo ~hi =
+  Geometry.points ~norm (Euclidean.random_uniform rng ~n ~d ~lo ~hi)
+
+let tree_metric rng ~n ~wmin ~wmax =
+  let geo = tree_geometry rng ~n ~wmin ~wmax in
+  ( checked ~context:"Random_host.tree_metric" ~require_metric:true
+      (Geometry.to_metric geo),
+    geo )
+
+let euclidean_metric ?norm rng ~n ~d ~lo ~hi =
+  let geo = euclidean_geometry ?norm rng ~n ~d ~lo ~hi in
+  ( checked ~context:"Random_host.euclidean_metric" ~require_metric:true
+      (Geometry.to_metric geo),
+    geo )
+
 let random_graph_metric rng ~n ~p ~wmin ~wmax =
   if wmin <= 0.0 || wmax < wmin then invalid_arg "Random_host.random_graph_metric";
   let g = Wgraph.create n in

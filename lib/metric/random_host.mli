@@ -18,3 +18,28 @@ val random_graph_metric :
   Gncg_util.Prng.t -> n:int -> p:float -> wmin:float -> wmax:float -> Metric.t
 (** Metric closure of a connected Erdős–Rényi graph with uniform weights:
     the "graph metric" workloads of the paper's M-GNCG. *)
+
+(** {1 Geometric hosts with their implicit description}
+
+    The historic generators tabulate all O(n²) pairs even though tree
+    and R^d hosts are defined by O(n)-size structure.  These variants
+    expose the {!Geometry.t} so oracle distance backends can consume the
+    description directly; the [*_geometry] forms never materialize a
+    matrix at all. *)
+
+val tree_geometry :
+  Gncg_util.Prng.t -> n:int -> wmin:float -> wmax:float -> Geometry.t
+(** Random recursive tree — O(n), no matrix. *)
+
+val euclidean_geometry :
+  ?norm:Euclidean.norm ->
+  Gncg_util.Prng.t -> n:int -> d:int -> lo:float -> hi:float -> Geometry.t
+(** Uniform box points — O(n·d), no matrix.  Defaults to [L2]. *)
+
+val tree_metric :
+  Gncg_util.Prng.t -> n:int -> wmin:float -> wmax:float -> Metric.t * Geometry.t
+(** Tabulated host {e plus} its description (small n). *)
+
+val euclidean_metric :
+  ?norm:Euclidean.norm ->
+  Gncg_util.Prng.t -> n:int -> d:int -> lo:float -> hi:float -> Metric.t * Geometry.t

@@ -40,6 +40,8 @@ let default_selfcheck = ref 0
 
 let set_default_selfcheck n = default_selfcheck := max 0 n
 
+let default_selfcheck_cadence () = !default_selfcheck
+
 let of_graph_no_copy g =
   let n = Wgraph.n g in
   let t =

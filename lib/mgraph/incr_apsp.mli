@@ -138,6 +138,10 @@ val set_default_selfcheck : int -> unit
     the CLI's [--selfcheck N] reaches internally constructed instances.
     Set once at startup. *)
 
+val default_selfcheck_cadence : unit -> int
+(** The process-wide default cadence — consulted by every {!Distances}
+    backend at construction so [--selfcheck N] covers them uniformly. *)
+
 val inject_cell_error : t -> int -> int -> float -> unit
 (** [inject_cell_error t u v delta] perturbs the single maintained cell
     [d(u,v)] by [delta] {e without} touching the graph — a fault-injection

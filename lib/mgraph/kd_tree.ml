@@ -1,0 +1,106 @@
+(* Static k-d tree over a flat [n*d] coordinate store.
+
+   The tree is implicit: [idx] is a permutation of the point indices
+   arranged so that every subtree occupies a contiguous range with its
+   splitting point at the range midpoint (axis = depth mod d).  Build is
+   O(n log^2 n) (a sort per level), a nearest query O(log n) expected.
+
+   Pruning is valid for every Minkowski norm: the axis-aligned distance
+   to the splitting hyperplane lower-bounds the p-norm distance to any
+   point beyond it (|q_i - x_i| <= ||q - x||_p for all p >= 1 and for
+   the sup norm). *)
+
+type t = {
+  flat : float array;  (* private copy: n*d row-major coordinates *)
+  d : int;
+  n : int;
+  idx : int array;
+  norm : Pnorm.t;
+}
+
+let build norm ~flat ~d =
+  Pnorm.validate norm;
+  if d < 1 then invalid_arg "Kd_tree.build: dimension must be positive";
+  if Array.length flat mod d <> 0 then invalid_arg "Kd_tree.build: ragged flat store";
+  let n = Array.length flat / d in
+  let flat = Array.copy flat in
+  let idx = Array.init n (fun i -> i) in
+  (* Sort each range by the split axis, recurse around the midpoint. *)
+  let rec go lo hi depth =
+    if hi - lo > 1 then begin
+      let axis = depth mod d in
+      let sub = Array.sub idx lo (hi - lo) in
+      Array.sort
+        (fun a b -> Float.compare flat.((a * d) + axis) flat.((b * d) + axis))
+        sub;
+      Array.blit sub 0 idx lo (hi - lo);
+      let mid = (lo + hi) / 2 in
+      go lo mid (depth + 1);
+      go (mid + 1) hi (depth + 1)
+    end
+  in
+  go 0 n 0;
+  { flat; d; n; idx; norm }
+
+let size t = t.n
+
+let dimension t = t.d
+
+let point t i =
+  if i < 0 || i >= t.n then invalid_arg "Kd_tree.point: out of range";
+  Array.sub t.flat (i * t.d) t.d
+
+let nearest_to t ?(accept = fun _ -> true) q =
+  if Array.length q <> t.d then invalid_arg "Kd_tree.nearest_to: dimension mismatch";
+  if t.n = 0 then None
+  else begin
+    let best = ref (-1) and best_d = ref Float.infinity in
+    let rec go lo hi depth =
+      if hi > lo then begin
+        let axis = depth mod t.d in
+        let mid = (lo + hi) / 2 in
+        let p = Array.unsafe_get t.idx mid in
+        (if accept p then begin
+           let dist = Pnorm.dist_to t.norm ~flat:t.flat ~d:t.d p q in
+           if dist < !best_d then begin
+             best_d := dist;
+             best := p
+           end
+         end);
+        if hi - lo > 1 then begin
+          let delta = Array.unsafe_get q axis -. t.flat.((p * t.d) + axis) in
+          let near_lo, near_hi, far_lo, far_hi =
+            if delta <= 0.0 then (lo, mid, mid + 1, hi) else (mid + 1, hi, lo, mid)
+          in
+          go near_lo near_hi (depth + 1);
+          (* The far half can only help when the splitting plane is closer
+             than the incumbent. *)
+          if Float.abs delta < !best_d then go far_lo far_hi (depth + 1)
+        end
+      end
+    in
+    go 0 t.n 0;
+    if !best < 0 then None else Some (!best, !best_d)
+  end
+
+let nearest t ?accept u =
+  if u < 0 || u >= t.n then invalid_arg "Kd_tree.nearest: out of range";
+  let q = Array.sub t.flat (u * t.d) t.d in
+  let accept = match accept with Some f -> fun v -> v <> u && f v | None -> fun v -> v <> u in
+  nearest_to t ~accept q
+
+(* Linear-scan oracle for the drift sentinel and the tests: a completely
+   independent code path over the same acceptance rule. *)
+let nearest_linear t ?(accept = fun _ -> true) u =
+  if u < 0 || u >= t.n then invalid_arg "Kd_tree.nearest_linear: out of range";
+  let best = ref (-1) and best_d = ref Float.infinity in
+  for v = 0 to t.n - 1 do
+    if v <> u && accept v then begin
+      let dist = Pnorm.dist t.norm ~flat:t.flat ~d:t.d u v in
+      if dist < !best_d then begin
+        best_d := dist;
+        best := v
+      end
+    end
+  done;
+  if !best < 0 then None else Some (!best, !best_d)

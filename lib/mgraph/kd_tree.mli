@@ -1,0 +1,32 @@
+(** Static k-d tree over a flat [n*d] coordinate store — the
+    nearest-addable-target index of the implicit R^d distance backend.
+
+    Valid for every {!Pnorm.t}: pruning uses the axis distance to the
+    splitting hyperplane, which lower-bounds all Minkowski norms.  The
+    tree keeps a private copy of the coordinates, so the owning backend
+    can cross-check it against its own store (drift sentinel). *)
+
+type t
+
+val build : Pnorm.t -> flat:float array -> d:int -> t
+(** [build norm ~flat ~d] indexes the [n = length flat / d] points.
+    O(n log^2 n); the coordinates are copied. *)
+
+val size : t -> int
+
+val dimension : t -> int
+
+val point : t -> int -> float array
+(** Fresh copy of a stored point. *)
+
+val nearest : t -> ?accept:(int -> bool) -> int -> (int * float) option
+(** [nearest t u] is the closest stored point to point [u], excluding
+    [u] itself and any point rejected by [accept].  [None] when no point
+    qualifies. *)
+
+val nearest_to : t -> ?accept:(int -> bool) -> float array -> (int * float) option
+(** Closest stored point to an explicit query point. *)
+
+val nearest_linear : t -> ?accept:(int -> bool) -> int -> (int * float) option
+(** Brute-force oracle with the same contract as {!nearest} — an
+    independent code path for tests and the drift sentinel. *)

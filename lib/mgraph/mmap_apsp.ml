@@ -1,0 +1,384 @@
+(* Memory-mapped twin of {!Incr_apsp}: the same incremental APSP
+   algorithms over a [Bigarray.Array1] float64 store instead of a
+   floatarray.  Backed either by anonymous bigarray memory or by a file
+   mapping ([Unix.map_file], shared), so a matrix computed once can be
+   handed to sibling domains or processes — the substrate the serve
+   daemon's workers will share.
+
+   Algorithms are copied from Incr_apsp on purpose: the two backends are
+   independent implementations over different storage, which is exactly
+   what the equivalence suite (test_distances) and the drift sentinel
+   cross-check. *)
+
+module Metric = Gncg_obs.Metric
+module BA1 = Bigarray.Array1
+
+let c_insertions = Metric.Counter.make "mmap_apsp.insertions"
+let c_deletions = Metric.Counter.make "mmap_apsp.deletions"
+let c_rows_changed = Metric.Counter.make "mmap_apsp.rows_changed"
+let c_whatif_sssp = Metric.Counter.make "mmap_apsp.whatif_sssp"
+let c_add_kernels = Metric.Counter.make "mmap_apsp.add_kernels"
+let c_maps = Metric.Counter.make "mmap_apsp.maps"
+let c_selfcheck_probes = Metric.Counter.make "mmap_apsp.selfcheck_probes"
+let c_selfcheck_mismatches = Metric.Counter.make "mmap_apsp.selfcheck_mismatches"
+let c_selfcheck_repairs = Metric.Counter.make "mmap_apsp.selfcheck_repairs"
+
+type store = (float, Bigarray.float64_elt, Bigarray.c_layout) BA1.t
+
+type t = {
+  g : Wgraph.t;
+  n : int;
+  d : store;                  (* n*n distances, possibly file-backed *)
+  backing : string option;
+  snap_u : float array;       (* row snapshots for the insertion update *)
+  snap_v : float array;
+  scratch : float array;
+  ws : Dijkstra.workspace;
+  mutable last_recomputed : int;
+  mutable selfcheck_every : int;
+  mutable selfcheck_countdown : int;
+  mutable selfcheck_cursor : int;
+}
+
+let map_store ?path n =
+  Metric.Counter.incr c_maps;
+  match path with
+  | None -> BA1.create Bigarray.float64 Bigarray.c_layout (n * n)
+  | Some path ->
+    let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let ga =
+          Unix.map_file fd Bigarray.float64 Bigarray.c_layout true [| n * n |]
+        in
+        Bigarray.array1_of_genarray ga)
+
+let write_row t s =
+  Dijkstra.sssp_into t.ws t.g s t.scratch;
+  let base = s * t.n in
+  for x = 0 to t.n - 1 do
+    BA1.unsafe_set t.d (base + x) (Array.unsafe_get t.scratch x)
+  done
+
+let rebuild t =
+  for s = 0 to t.n - 1 do
+    write_row t s
+  done
+
+let of_graph_no_copy ?path g =
+  let n = Wgraph.n g in
+  let t =
+    {
+      g;
+      n;
+      d = map_store ?path n;
+      backing = path;
+      snap_u = Array.make n Float.infinity;
+      snap_v = Array.make n Float.infinity;
+      scratch = Array.make n Float.infinity;
+      ws = Dijkstra.workspace n;
+      last_recomputed = 0;
+      selfcheck_every = Incr_apsp.default_selfcheck_cadence ();
+      selfcheck_countdown = Incr_apsp.default_selfcheck_cadence ();
+      selfcheck_cursor = 0;
+    }
+  in
+  rebuild t;
+  t
+
+let of_graph ?path g = of_graph_no_copy ?path (Wgraph.copy g)
+
+let graph t = t.g
+
+let n t = t.n
+
+let backing t = t.backing
+
+let check t u name =
+  if u < 0 || u >= t.n then
+    invalid_arg (Printf.sprintf "Mmap_apsp.%s: vertex %d out of range" name u)
+
+let distance t u v =
+  check t u "distance";
+  check t v "distance";
+  BA1.get t.d ((u * t.n) + v)
+
+let row_into t u dst =
+  check t u "row_into";
+  if Array.length dst < t.n then invalid_arg "Mmap_apsp.row_into: row too short";
+  let base = u * t.n in
+  for v = 0 to t.n - 1 do
+    Array.unsafe_set dst v (BA1.unsafe_get t.d (base + v))
+  done
+
+let row t u =
+  let dst = Array.make t.n Float.infinity in
+  row_into t u dst;
+  dst
+
+let matrix t = Array.init t.n (fun u -> row t u)
+
+let dist_sum t u =
+  check t u "dist_sum";
+  let base = u * t.n in
+  let s = ref 0.0 and c = ref 0.0 in
+  let any_inf = ref false in
+  for x = 0 to t.n - 1 do
+    let d = BA1.unsafe_get t.d (base + x) in
+    if d = Float.infinity then any_inf := true
+    else begin
+      let y = d -. !c in
+      let tt = !s +. y in
+      c := tt -. !s -. y;
+      s := tt
+    end
+  done;
+  if !any_inf then Float.infinity else !s
+
+let dist_sum_with_edge t u v w =
+  check t u "dist_sum_with_edge";
+  check t v "dist_sum_with_edge";
+  Metric.Counter.incr c_add_kernels;
+  let ubase = u * t.n and vbase = v * t.n in
+  let s = ref 0.0 and c = ref 0.0 in
+  let any_inf = ref false in
+  for x = 0 to t.n - 1 do
+    let m =
+      Float.min (BA1.unsafe_get t.d (ubase + x)) (w +. BA1.unsafe_get t.d (vbase + x))
+    in
+    if m = Float.infinity then any_inf := true
+    else begin
+      let y = m -. !c in
+      let tt = !s +. y in
+      c := tt -. !s -. y;
+      s := tt
+    end
+  done;
+  if !any_inf then Float.infinity else !s
+
+let min_sum_against t r v w =
+  check t v "min_sum_against";
+  Metric.Counter.incr c_add_kernels;
+  if Array.length r < t.n then invalid_arg "Mmap_apsp.min_sum_against: row too short";
+  let vbase = v * t.n in
+  let s = ref 0.0 and c = ref 0.0 in
+  let any_inf = ref false in
+  for x = 0 to t.n - 1 do
+    let m = Float.min (Array.unsafe_get r x) (w +. BA1.unsafe_get t.d (vbase + x)) in
+    if m = Float.infinity then any_inf := true
+    else begin
+      let y = m -. !c in
+      let tt = !s +. y in
+      c := tt -. !s -. y;
+      s := tt
+    end
+  done;
+  if !any_inf then Float.infinity else !s
+
+(* --- drift sentinel (same probes as Incr_apsp, over the mapping) ------- *)
+
+let set_selfcheck t n =
+  let n = max 0 n in
+  t.selfcheck_every <- n;
+  t.selfcheck_countdown <- n
+
+let selfcheck_cadence t = t.selfcheck_every
+
+let selfcheck_now t =
+  Metric.Counter.incr c_selfcheck_probes;
+  let n = t.n in
+  let clean = ref true in
+  (try
+     for u = 0 to n - 1 do
+       for v = u + 1 to n - 1 do
+         if
+           not
+             (Gncg_util.Flt.approx_eq
+                (BA1.unsafe_get t.d ((u * n) + v))
+                (BA1.unsafe_get t.d ((v * n) + u)))
+         then begin
+           clean := false;
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  if !clean && n > 0 then begin
+    let s = t.selfcheck_cursor mod n in
+    t.selfcheck_cursor <- (s + 1) mod n;
+    Dijkstra.sssp_into t.ws t.g s t.scratch;
+    let base = s * n in
+    try
+      for x = 0 to n - 1 do
+        if
+          not
+            (Gncg_util.Flt.approx_eq
+               (Array.unsafe_get t.scratch x)
+               (BA1.unsafe_get t.d (base + x)))
+        then begin
+          clean := false;
+          raise Exit
+        end
+      done
+    with Exit -> ()
+  end;
+  if not !clean then begin
+    Metric.Counter.incr c_selfcheck_mismatches;
+    rebuild t;
+    Metric.Counter.incr c_selfcheck_repairs
+  end;
+  !clean
+
+let tick_selfcheck t changed =
+  if t.selfcheck_every > 0 then begin
+    t.selfcheck_countdown <- t.selfcheck_countdown - 1;
+    if t.selfcheck_countdown <= 0 then begin
+      t.selfcheck_countdown <- t.selfcheck_every;
+      if not (selfcheck_now t) then
+        for s = 0 to t.n - 1 do
+          Changed_rows.add changed s
+        done
+    end
+  end
+
+let inject_cell_error t u v delta =
+  check t u "inject_cell_error";
+  check t v "inject_cell_error";
+  let i = (u * t.n) + v in
+  BA1.set t.d i (BA1.get t.d i +. delta)
+
+(* --- updates --- *)
+
+let add_edge t u v w =
+  check t u "add_edge";
+  check t v "add_edge";
+  if Wgraph.has_edge t.g u v then invalid_arg "Mmap_apsp.add_edge: edge already present";
+  Wgraph.add_edge t.g u v w;
+  Metric.Counter.incr c_insertions;
+  let n = t.n in
+  let changed = Changed_rows.create n in
+  if w < BA1.get t.d ((u * n) + v) then begin
+    let du = t.snap_u and dv = t.snap_v in
+    for x = 0 to n - 1 do
+      Array.unsafe_set du x (BA1.unsafe_get t.d ((u * n) + x));
+      Array.unsafe_set dv x (BA1.unsafe_get t.d ((v * n) + x))
+    done;
+    for x = 0 to n - 1 do
+      let base = x * n in
+      let dxu = Array.unsafe_get du x and dxv = Array.unsafe_get dv x in
+      let touched = ref false in
+      for y = 0 to n - 1 do
+        let via_uv = dxu +. w +. Array.unsafe_get dv y in
+        let via_vu = dxv +. w +. Array.unsafe_get du y in
+        let cur = BA1.unsafe_get t.d (base + y) in
+        let best = Float.min cur (Float.min via_uv via_vu) in
+        if best < cur then begin
+          BA1.unsafe_set t.d (base + y) best;
+          touched := true
+        end
+      done;
+      if !touched then Changed_rows.add changed x
+    done;
+    Metric.Counter.add c_rows_changed (Changed_rows.cardinal changed)
+  end;
+  tick_selfcheck t changed;
+  changed
+
+let remove_edge t u v =
+  check t u "remove_edge";
+  check t v "remove_edge";
+  let n = t.n in
+  let changed = Changed_rows.create n in
+  (match Wgraph.weight t.g u v with
+  | None -> t.last_recomputed <- 0
+  | Some w ->
+    Wgraph.remove_edge t.g u v;
+    Metric.Counter.incr c_deletions;
+    let recomputed = ref 0 in
+    for s = 0 to n - 1 do
+      let base = s * n in
+      let dsu = BA1.unsafe_get t.d (base + u) and dsv = BA1.unsafe_get t.d (base + v) in
+      if
+        Gncg_util.Flt.approx_eq (dsu +. w) dsv
+        || Gncg_util.Flt.approx_eq (dsv +. w) dsu
+      then begin
+        Dijkstra.sssp_into t.ws t.g s t.scratch;
+        let differs = ref false in
+        for x = 0 to n - 1 do
+          let fresh = Array.unsafe_get t.scratch x in
+          if fresh <> BA1.unsafe_get t.d (base + x) then begin
+            BA1.unsafe_set t.d (base + x) fresh;
+            differs := true
+          end
+        done;
+        if !differs then Changed_rows.add changed s;
+        incr recomputed
+      end
+    done;
+    t.last_recomputed <- !recomputed;
+    Metric.Counter.add c_rows_changed (Changed_rows.cardinal changed));
+  tick_selfcheck t changed;
+  changed
+
+let last_deletion_recomputed t = t.last_recomputed
+
+(* --- what-if evaluation --- *)
+
+let with_edits t ?remove ?add f =
+  let removed =
+    match remove with
+    | None -> None
+    | Some (u, v) -> (
+      match Wgraph.weight t.g u v with
+      | None -> None
+      | Some w ->
+        Wgraph.remove_edge t.g u v;
+        Some (u, v, w))
+  in
+  let added =
+    match add with
+    | None -> None
+    | Some (u, v, w) when not (Wgraph.has_edge t.g u v) ->
+      Wgraph.add_edge t.g u v w;
+      Some (u, v)
+    | Some _ -> None
+  in
+  let r = f () in
+  (match added with None -> () | Some (u, v) -> Wgraph.remove_edge t.g u v);
+  (match removed with None -> () | Some (u, v, w) -> Wgraph.add_edge t.g u v w);
+  r
+
+let sssp_edited_into t ?remove ?add source dst =
+  check t source "sssp_edited_into";
+  Metric.Counter.incr c_whatif_sssp;
+  with_edits t ?remove ?add (fun () -> Dijkstra.sssp_into t.ws t.g source dst)
+
+let sssp_edited_sum t ?remove ?add source =
+  check t source "sssp_edited_sum";
+  Metric.Counter.incr c_whatif_sssp;
+  with_edits t ?remove ?add (fun () ->
+      Dijkstra.sssp_into t.ws t.g source t.scratch;
+      Gncg_util.Flt.sum t.scratch)
+
+let copy t =
+  let t' =
+    {
+      g = Wgraph.copy t.g;
+      n = t.n;
+      d = BA1.create Bigarray.float64 Bigarray.c_layout (t.n * t.n);
+      backing = None;
+      snap_u = Array.make t.n Float.infinity;
+      snap_v = Array.make t.n Float.infinity;
+      scratch = Array.make t.n Float.infinity;
+      ws = Dijkstra.workspace t.n;
+      last_recomputed = t.last_recomputed;
+      selfcheck_every = t.selfcheck_every;
+      selfcheck_countdown = t.selfcheck_countdown;
+      selfcheck_cursor = t.selfcheck_cursor;
+    }
+  in
+  BA1.blit t.d t'.d;
+  t'
+
+let memory_bytes t = 8 * t.n * t.n

@@ -1,0 +1,69 @@
+(** Memory-mapped incremental APSP — {!Incr_apsp} over a
+    [Bigarray.Array1] float64 store, optionally file-backed.
+
+    Same algorithms (exact insertion relaxation, affected-source deletion
+    recompute, drift sentinel, what-if probes), different storage: a
+    bigarray lives outside the OCaml heap, and with [?path] it is a
+    shared [Unix.map_file] mapping, so a matrix computed once can be
+    read by sibling domains or a separate process mapping the same file
+    (the serve daemon's worker substrate).
+
+    The two implementations are deliberately independent — the
+    equivalence suite pins their results to each other cell by cell. *)
+
+type t
+
+val of_graph : ?path:string -> Wgraph.t -> t
+(** Adopts a private copy of the graph and computes its distances.  With
+    [?path] the matrix lives in a shared file mapping (created or
+    overwritten, sized [8·n²] bytes). *)
+
+val of_graph_no_copy : ?path:string -> Wgraph.t -> t
+
+val graph : t -> Wgraph.t
+
+val n : t -> int
+
+val backing : t -> string option
+(** The mapped file, when file-backed. *)
+
+val distance : t -> int -> int -> float
+
+val row : t -> int -> float array
+
+val row_into : t -> int -> float array -> unit
+
+val matrix : t -> float array array
+
+val dist_sum : t -> int -> float
+
+val dist_sum_with_edge : t -> int -> int -> float -> float
+
+val min_sum_against : t -> float array -> int -> float -> float
+
+val add_edge : t -> int -> int -> float -> Changed_rows.t
+
+val remove_edge : t -> int -> int -> Changed_rows.t
+
+val last_deletion_recomputed : t -> int
+
+val sssp_edited_into :
+  t -> ?remove:int * int -> ?add:int * int * float -> int -> float array -> unit
+
+val sssp_edited_sum : t -> ?remove:int * int -> ?add:int * int * float -> int -> float
+
+val copy : t -> t
+(** Deep copy into anonymous (non-file-backed) storage. *)
+
+val rebuild : t -> unit
+
+val set_selfcheck : t -> int -> unit
+
+val selfcheck_cadence : t -> int
+
+val selfcheck_now : t -> bool
+
+val inject_cell_error : t -> int -> int -> float -> unit
+
+val memory_bytes : t -> int
+(** [8·n²] — the mapped matrix itself. *)

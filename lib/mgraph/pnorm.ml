@@ -1,0 +1,101 @@
+(* Minkowski p-norms over flat coordinate storage.  The implicit R^d
+   distance backend and the k-d tree both evaluate distances straight
+   from an [n*d] row-major float array — no per-point boxing, no matrix.
+   This module is the single definition of that arithmetic so the oracle
+   and its index can never disagree. *)
+
+type t = L1 | L2 | Lp of float | Linf
+
+let validate = function
+  | Lp p when not (p >= 1.0 && Float.is_finite p) ->
+    invalid_arg "Pnorm: p must be finite and >= 1"
+  | _ -> ()
+
+let to_string = function
+  | L1 -> "l1"
+  | L2 -> "l2"
+  | Lp p -> Printf.sprintf "l%g" p
+  | Linf -> "linf"
+
+let of_string = function
+  | "l1" -> Ok L1
+  | "l2" -> Ok L2
+  | "linf" -> Ok Linf
+  | s ->
+    (match
+       if String.length s > 1 && s.[0] = 'l' then
+         float_of_string_opt (String.sub s 1 (String.length s - 1))
+       else None
+     with
+    | Some p when p >= 1.0 && Float.is_finite p -> Ok (Lp p)
+    | _ -> Error (Printf.sprintf "unknown norm %S (l1 | l2 | lP | linf)" s))
+
+(* Distance between point [u] of the flat store and an explicit query
+   point [q] of dimension [d]. *)
+let dist_to norm ~flat ~d u q =
+  let base = u * d in
+  match norm with
+  | L1 ->
+    let s = ref 0.0 in
+    for i = 0 to d - 1 do
+      s := !s +. Float.abs (Array.unsafe_get flat (base + i) -. Array.unsafe_get q i)
+    done;
+    !s
+  | L2 ->
+    let s = ref 0.0 in
+    for i = 0 to d - 1 do
+      let x = Array.unsafe_get flat (base + i) -. Array.unsafe_get q i in
+      s := !s +. (x *. x)
+    done;
+    sqrt !s
+  | Lp p ->
+    let s = ref 0.0 in
+    for i = 0 to d - 1 do
+      s :=
+        !s
+        +. (Float.abs (Array.unsafe_get flat (base + i) -. Array.unsafe_get q i) ** p)
+    done;
+    !s ** (1.0 /. p)
+  | Linf ->
+    let s = ref 0.0 in
+    for i = 0 to d - 1 do
+      s :=
+        Float.max !s
+          (Float.abs (Array.unsafe_get flat (base + i) -. Array.unsafe_get q i))
+    done;
+    !s
+
+(* Distance between two points of the flat store. *)
+let dist norm ~flat ~d u v =
+  let bu = u * d and bv = v * d in
+  match norm with
+  | L1 ->
+    let s = ref 0.0 in
+    for i = 0 to d - 1 do
+      s := !s +. Float.abs (Array.unsafe_get flat (bu + i) -. Array.unsafe_get flat (bv + i))
+    done;
+    !s
+  | L2 ->
+    let s = ref 0.0 in
+    for i = 0 to d - 1 do
+      let x = Array.unsafe_get flat (bu + i) -. Array.unsafe_get flat (bv + i) in
+      s := !s +. (x *. x)
+    done;
+    sqrt !s
+  | Lp p ->
+    let s = ref 0.0 in
+    for i = 0 to d - 1 do
+      s :=
+        !s
+        +. (Float.abs (Array.unsafe_get flat (bu + i) -. Array.unsafe_get flat (bv + i))
+            ** p)
+    done;
+    !s ** (1.0 /. p)
+  | Linf ->
+    let s = ref 0.0 in
+    for i = 0 to d - 1 do
+      s :=
+        Float.max !s
+          (Float.abs (Array.unsafe_get flat (bu + i) -. Array.unsafe_get flat (bv + i)))
+    done;
+    !s

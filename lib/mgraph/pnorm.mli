@@ -1,0 +1,24 @@
+(** Minkowski p-norms over flat [n*d] row-major coordinate storage — the
+    shared arithmetic of the implicit R^d distance backend ({!Rd_dist})
+    and its nearest-neighbour index ({!Kd_tree}). *)
+
+type t =
+  | L1
+  | L2
+  | Lp of float  (** p >= 1, finite *)
+  | Linf
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on [Lp p] with [p < 1] or non-finite [p]. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** ["l1" | "l2" | "l<p>" | "linf"]. *)
+
+val dist : t -> flat:float array -> d:int -> int -> int -> float
+(** [dist norm ~flat ~d u v] is the p-norm distance between points [u]
+    and [v] of the flat store (rows of length [d]). *)
+
+val dist_to : t -> flat:float array -> d:int -> int -> float array -> float
+(** Distance between stored point [u] and an explicit query point. *)

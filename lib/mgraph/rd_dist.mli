@@ -1,0 +1,77 @@
+(** Implicit distance oracle for R^d p-norm hosts — coordinates only.
+
+    When the built network is the complete graph on the point set (the
+    host metric itself, the paper's §5 regime), every shortest path is
+    the direct edge, so distances are evaluated straight off a flat
+    [n*d] coordinate array: O(d) per get, O(n·d) storage, no matrix.  A
+    {!Kd_tree} over the same coordinates answers nearest-addable-target
+    queries for the response engines.
+
+    Read-only: hypothetical moves are evaluated through closed-form
+    [sssp_edited_*] probes (removed direct edge → best 2-hop detour;
+    added edge → one insertion relaxation), both exact on complete
+    metric networks.  Mutating dynamics fall back to a dense backend
+    (see {!Distances}). *)
+
+type t
+
+val make : Pnorm.t -> flat:float array -> d:int -> t
+(** [make norm ~flat ~d] adopts a copy of the [n = length flat / d]
+    row-major points and builds the k-d index. *)
+
+val of_points : Pnorm.t -> float array array -> t
+(** From boxed points (e.g. [Euclidean.points]). *)
+
+val n : t -> int
+
+val dim : t -> int
+
+val norm : t -> Pnorm.t
+
+val point : t -> int -> float array
+
+val distance : t -> int -> int -> float
+(** O(d): the p-norm of the coordinate difference. *)
+
+val row : t -> int -> float array
+
+val row_into : t -> int -> float array -> unit
+
+val dist_sum : t -> int -> float
+(** O(n·d), Kahan-compensated. *)
+
+val dist_sum_with_edge : t -> int -> int -> float -> float
+
+val min_sum_against : t -> float array -> int -> float -> float
+
+val sssp_edited_into :
+  t -> ?remove:int * int -> ?add:int * int * float -> int -> float array -> unit
+(** Exact what-if distances on the complete network with one direct edge
+    removed and/or one edge added — closed form, no graph search. *)
+
+val sssp_edited_sum : t -> ?remove:int * int -> ?add:int * int * float -> int -> float
+
+val nearest : t -> ?accept:(int -> bool) -> int -> (int * float) option
+(** Nearest other point to [u] passing [accept], via the k-d tree — the
+    geometric shortcut behind {!Fast_response}'s nearest-addable-target
+    query. *)
+
+val nearest_linear : t -> ?accept:(int -> bool) -> int -> (int * float) option
+(** Brute-force oracle with the same contract (tests / sentinel). *)
+
+(** {1 Drift sentinel} *)
+
+val set_selfcheck : t -> int -> unit
+
+val selfcheck_cadence : t -> int
+
+val selfcheck_now : t -> bool
+(** Cross-checks one round-robin point between the oracle's store and
+    the k-d tree's private copy, and tree-descent vs linear-scan nearest
+    neighbours; on mismatch restores the store from the index and
+    returns [false]. *)
+
+val inject_cell_error : t -> int -> int -> float -> unit
+(** Perturbs a coordinate of point [u] (second vertex ignored). *)
+
+val memory_bytes : t -> int

@@ -34,17 +34,35 @@ let default_models =
     One_inf { p = 0.3 };
   ]
 
-let random_metric rng model ~n =
+(* Geometric models keep their implicit description alongside the
+   tabulated host, so Net_state can select an oracle distance backend
+   (no O(n²) matrix) when the network shape allows. *)
+let random_geometry rng model ~n =
   match model with
-  | One_two { p_one } -> Gncg_metric.One_two.random rng ~n ~p_one
   | Tree { wmin; wmax } ->
-    Gncg_metric.Tree_metric.metric (Gncg_metric.Tree_metric.random rng ~n ~wmin ~wmax)
+    Some (Gncg_metric.Geometry.tree (Gncg_metric.Tree_metric.random rng ~n ~wmin ~wmax))
   | Euclid { norm; d; box } ->
-    Euclidean.metric norm (Euclidean.random_uniform rng ~n ~d ~lo:0.0 ~hi:box)
-  | Graph_metric { p; wmin; wmax } ->
-    Gncg_metric.Random_host.random_graph_metric rng ~n ~p ~wmin ~wmax
-  | General { lo; hi } -> Gncg_metric.Random_host.uniform rng ~n ~lo ~hi
-  | One_inf { p } -> Gncg_metric.One_inf.random_connected rng ~n ~p
+    Some
+      (Gncg_metric.Geometry.points ~norm
+         (Euclidean.random_uniform rng ~n ~d ~lo:0.0 ~hi:box))
+  | One_two _ | Graph_metric _ | General _ | One_inf _ -> None
+
+let random_metric_geometry rng model ~n =
+  match random_geometry rng model ~n with
+  | Some geo -> (Gncg_metric.Geometry.to_metric geo, Some geo)
+  | None ->
+    let m =
+      match model with
+      | One_two { p_one } -> Gncg_metric.One_two.random rng ~n ~p_one
+      | Graph_metric { p; wmin; wmax } ->
+        Gncg_metric.Random_host.random_graph_metric rng ~n ~p ~wmin ~wmax
+      | General { lo; hi } -> Gncg_metric.Random_host.uniform rng ~n ~lo ~hi
+      | One_inf { p } -> Gncg_metric.One_inf.random_connected rng ~n ~p
+      | Tree _ | Euclid _ -> assert false
+    in
+    (m, None)
+
+let random_metric rng model ~n = fst (random_metric_geometry rng model ~n)
 
 (* Which validation profile fits each model family: exact triangle checks
    for the discrete 1-2 weights, tolerant ones for closure/point-set
@@ -57,7 +75,8 @@ let validate_host model host =
   | One_inf _ -> Gncg.Host.validate ~require_metric:false host
 
 let random_host rng model ~n ~alpha =
-  let host = Gncg.Host.make ~alpha (random_metric rng model ~n) in
+  let m, geometry = random_metric_geometry rng model ~n in
+  let host = Gncg.Host.make ?geometry ~alpha m in
   if Gncg_util.Gncg_error.strict_validation () then
     (match validate_host model host with
     | Ok () -> ()

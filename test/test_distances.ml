@@ -1,0 +1,487 @@
+(* Equivalence of every DISTANCES backend against from-scratch oracles:
+   the tree and R^d implicit backends must agree with a fresh Dijkstra /
+   the tabulated point metric within Flt tolerance, the mmap engine must
+   stay bit-identical to dense through random edit sequences (including
+   Changed_rows parity), the k-d index must agree with a linear scan,
+   Net_state must auto-select the right backend, and each backend's
+   drift sentinel must detect and heal injected cell faults. *)
+
+module Prng = Gncg_util.Prng
+module Flt = Gncg_util.Flt
+module Wgraph = Gncg_graph.Wgraph
+module Dijkstra = Gncg_graph.Dijkstra
+module D = Gncg_graph.Distances
+module Kd_tree = Gncg_graph.Kd_tree
+module Pnorm = Gncg_graph.Pnorm
+module Changed_rows = Gncg_graph.Changed_rows
+module Tree_metric = Gncg_metric.Tree_metric
+module Euclidean = Gncg_metric.Euclidean
+module Geometry = Gncg_metric.Geometry
+module Random_host = Gncg_metric.Random_host
+module Instances = Gncg_workload.Instances
+
+let seed_gen = QCheck.small_nat
+
+let qtest ?(count = 30) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let close = Flt.approx_eq ~tol:1e-6
+
+(* Both infinite, or close: the what-if probes legitimately produce
+   unreachable vertices when an edit disconnects the network. *)
+let close_or_inf a b = (a = Float.infinity && b = Float.infinity) || close a b
+
+let random_tree r n =
+  Tree_metric.graph (Tree_metric.random r ~n ~wmin:0.5 ~wmax:9.0)
+
+let random_connected_graph r n =
+  let g = Wgraph.create n in
+  let order = Prng.permutation r n in
+  for i = 1 to n - 1 do
+    Wgraph.add_edge g order.(i) order.(Prng.int r i) (Prng.float_in r 0.5 9.0)
+  done;
+  for _ = 1 to n do
+    let u = Prng.int r n and v = Prng.int r n in
+    if u <> v && not (Wgraph.has_edge g u v) then
+      Wgraph.add_edge g u v (Prng.float_in r 0.5 9.0)
+  done;
+  g
+
+(* --- tree oracle vs fresh Dijkstra --- *)
+
+let prop_tree_matches_dijkstra seed =
+  let r = Prng.create (seed + 801) in
+  let n = 4 + Prng.int r 40 in
+  let g = random_tree r n in
+  let td = D.tree (Wgraph.copy g) in
+  let reference = Dijkstra.apsp g in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    let sum = ref 0.0 in
+    for v = 0 to n - 1 do
+      sum := !sum +. reference.(u).(v);
+      if not (close (D.distance td u v) reference.(u).(v)) then ok := false
+    done;
+    if not (Flt.approx_eq ~tol:1e-6 (D.dist_sum td u) !sum) then ok := false
+  done;
+  !ok
+
+let prop_tree_kernels_match_dense seed =
+  let r = Prng.create (seed + 802) in
+  let n = 4 + Prng.int r 24 in
+  let g = random_tree r n in
+  let td = D.tree (Wgraph.copy g) in
+  let dd = D.dense (Wgraph.copy g) in
+  let ok = ref true in
+  for _ = 1 to 8 do
+    let u = Prng.int r n and v = Prng.int r n in
+    if u <> v then begin
+      let w = Prng.float_in r 0.5 9.0 in
+      if
+        not
+          (close (D.dist_sum_with_edge td u v w) (D.dist_sum_with_edge dd u v w))
+      then ok := false;
+      let against = D.row dd v in
+      if
+        not (close (D.min_sum_against td against u w) (D.min_sum_against dd against u w))
+      then ok := false
+    end
+  done;
+  !ok
+
+(* What-if edits on the tree oracle: additions, and swaps that may
+   disconnect (both sides must then report the same infinities). *)
+let prop_tree_whatif_matches_dense seed =
+  let r = Prng.create (seed + 803) in
+  let n = 4 + Prng.int r 20 in
+  let g = random_tree r n in
+  let td = D.tree (Wgraph.copy g) in
+  let dd = D.dense (Wgraph.copy g) in
+  let edges = Array.of_list (Wgraph.edges g) in
+  let ok = ref true in
+  let compare_rows s ?remove ?add () =
+    let a = D.sssp_edited td ?remove ?add s in
+    let b = D.sssp_edited dd ?remove ?add s in
+    for x = 0 to n - 1 do
+      if not (close_or_inf a.(x) b.(x)) then ok := false
+    done;
+    let sa = D.sssp_edited_sum td ?remove ?add s in
+    let sb = D.sssp_edited_sum dd ?remove ?add s in
+    if not (close_or_inf sa sb) then ok := false
+  in
+  for _ = 1 to 6 do
+    let s = Prng.int r n in
+    let u = Prng.int r n and v = Prng.int r n in
+    let eu, ev, _ = edges.(Prng.int r (Array.length edges)) in
+    if u <> v && not (Wgraph.has_edge g u v) then begin
+      let w = Prng.float_in r 0.2 4.0 in
+      compare_rows s ~add:(u, v, w) ();
+      compare_rows s ~remove:(eu, ev) ~add:(u, v, w) ()
+    end;
+    compare_rows s ~remove:(eu, ev) ()
+  done;
+  !ok
+
+(* --- R^d oracle vs the tabulated point metric --- *)
+
+let norms = [| Euclidean.L1; Euclidean.L2; Euclidean.Lp 3.0; Euclidean.Linf |]
+
+let prop_rd_matches_metric seed =
+  let r = Prng.create (seed + 804) in
+  let n = 4 + Prng.int r 24 in
+  let d = 1 + Prng.int r 3 in
+  let norm = norms.(Prng.int r 4) in
+  let pts = Euclidean.random_uniform r ~n ~d ~lo:(-5.0) ~hi:5.0 in
+  let rd = D.rd (Geometry.pnorm norm) pts in
+  let m = Euclidean.metric norm pts in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    let sum = ref 0.0 in
+    for v = 0 to n - 1 do
+      let w = if u = v then 0.0 else Gncg_metric.Metric.weight m u v in
+      sum := !sum +. w;
+      if not (close (D.distance rd u v) w) then ok := false
+    done;
+    if not (Flt.approx_eq ~tol:1e-6 (D.dist_sum rd u) !sum) then ok := false
+  done;
+  !ok
+
+(* Complete network over the points: the rd oracle's what-if kernels
+   (detour on removal, insertion relax on addition) vs the dense engine
+   on the explicitly built complete graph. *)
+let complete_graph_of_points norm pts =
+  let n = Array.length pts in
+  let g = Wgraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Wgraph.add_edge g u v (Euclidean.dist norm pts.(u) pts.(v))
+    done
+  done;
+  g
+
+let prop_rd_whatif_matches_dense seed =
+  let r = Prng.create (seed + 805) in
+  let n = 4 + Prng.int r 12 in
+  let d = 1 + Prng.int r 3 in
+  let norm = norms.(Prng.int r 4) in
+  let pts = Euclidean.random_uniform r ~n ~d ~lo:(-5.0) ~hi:5.0 in
+  let rd = D.rd (Geometry.pnorm norm) pts in
+  let dd = D.dense (complete_graph_of_points norm pts) in
+  let ok = ref true in
+  for _ = 1 to 8 do
+    let s = Prng.int r n in
+    let u = Prng.int r n and v = Prng.int r n in
+    if u <> v then begin
+      (* The network is complete, so a bare add only ever happens with
+         w >= the existing direct edge (a no-op shortcut); a cheaper link
+         is expressed as a reweight: remove + add of the same pair. *)
+      let direct = D.distance rd u v in
+      let compare_rows ?remove ?add () =
+        let a = D.sssp_edited rd ?remove ?add s in
+        let b = D.sssp_edited dd ?remove ?add s in
+        for x = 0 to n - 1 do
+          if not (close a.(x) b.(x)) then ok := false
+        done
+      in
+      compare_rows ~add:(u, v, direct +. Prng.float_in r 0.0 2.0) ();
+      compare_rows ~remove:(u, v) ();
+      compare_rows ~remove:(u, v) ~add:(u, v, Prng.float_in r 0.1 2.0) ();
+      let w = Prng.float_in r 0.1 2.0 in
+      if not (close (D.dist_sum_with_edge rd u v w) (D.dist_sum_with_edge dd u v w))
+      then ok := false
+    end
+  done;
+  !ok
+
+(* --- mmap engine: bit-identical to dense through edit sequences --- *)
+
+let matrices_equal a b n =
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      (* Same algorithm over both stores: exact equality, not tolerance. *)
+      if D.distance a u v <> D.distance b u v then ok := false
+    done
+  done;
+  !ok
+
+let prop_mmap_matches_dense_under_edits seed =
+  let r = Prng.create (seed + 806) in
+  let n = 4 + Prng.int r 12 in
+  let g = random_connected_graph r n in
+  let md = D.mmap (Wgraph.copy g) in
+  let dd = D.dense (Wgraph.copy g) in
+  let ok = ref (matrices_equal md dd n) in
+  let removable = ref [] in
+  for _ = 1 to 12 do
+    let u = Prng.int r n and v = Prng.int r n in
+    if u <> v && not (Wgraph.has_edge (Option.get (D.graph dd)) u v) then begin
+      let w = Prng.float_in r 0.5 9.0 in
+      let cm = D.add_edge md u v w in
+      let cd = D.add_edge dd u v w in
+      removable := (u, v) :: !removable;
+      if Changed_rows.to_list cm <> Changed_rows.to_list cd then ok := false;
+      if not (matrices_equal md dd n) then ok := false
+    end;
+    match !removable with
+    | (u, v) :: rest when Prng.bool r ->
+      removable := rest;
+      let cm = D.remove_edge md u v in
+      let cd = D.remove_edge dd u v in
+      if Changed_rows.to_list cm <> Changed_rows.to_list cd then ok := false;
+      if not (matrices_equal md dd n) then ok := false
+    | _ -> ()
+  done;
+  !ok
+
+(* A file-backed mapping behaves like the anonymous one. *)
+let test_mmap_file_backed () =
+  let r = Prng.create 41 in
+  let n = 10 in
+  let g = random_connected_graph r n in
+  let path = Filename.temp_file "gncg_test_mmap" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let md = D.mmap ~path g in
+      let dd = D.dense (Wgraph.copy g) in
+      Alcotest.(check bool) "file-backed matches dense" true (matrices_equal md dd n))
+
+(* --- k-d index vs linear scan --- *)
+
+let prop_kd_nearest_matches_linear seed =
+  let r = Prng.create (seed + 807) in
+  let n = 3 + Prng.int r 40 in
+  let d = 1 + Prng.int r 3 in
+  let norm = Geometry.pnorm norms.(Prng.int r 4) in
+  let pts = Euclidean.random_uniform r ~n ~d ~lo:(-5.0) ~hi:5.0 in
+  let flat = Array.concat (Array.to_list pts) in
+  let kd = Kd_tree.build norm ~flat ~d in
+  let accept v = v mod 2 = 0 in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    (match (Kd_tree.nearest kd u, Kd_tree.nearest_linear kd u) with
+    | Some (_, dk), Some (_, dl) -> if not (close dk dl) then ok := false
+    | None, None -> ()
+    | _ -> ok := false);
+    match (Kd_tree.nearest kd ~accept u, Kd_tree.nearest_linear kd ~accept u) with
+    | Some (vk, dk), Some (vl, dl) ->
+      if not (close dk dl) then ok := false;
+      if not (accept vk && accept vl && vk <> u && vl <> u) then ok := false
+    | None, None -> ()
+    | _ -> ok := false
+  done;
+  !ok
+
+(* --- Net_state backend selection and cost parity --- *)
+
+let tree_state ?backend ?require_mutable () =
+  let r = Prng.create 5 in
+  let metric, geometry = Random_host.tree_metric r ~n:12 ~wmin:1.0 ~wmax:5.0 in
+  let host = Gncg.Host.make ~geometry ~alpha:2.0 metric in
+  let tr = match geometry with Geometry.Tree tr -> tr | _ -> assert false in
+  let profile = Gncg.Strategy.of_graph_arbitrary_owners (Tree_metric.graph tr) in
+  Gncg.Net_state.create ?backend ?require_mutable host profile
+
+let rd_state ?backend () =
+  let r = Prng.create 6 in
+  let n = 9 in
+  let metric, geometry =
+    Random_host.euclidean_metric r ~n ~d:2 ~lo:0.0 ~hi:10.0
+  in
+  let host = Gncg.Host.make ~geometry ~alpha:2.0 metric in
+  let complete = Wgraph.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      Wgraph.add_edge complete u v 1.0
+    done
+  done;
+  let profile = Gncg.Strategy.of_graph_arbitrary_owners complete in
+  Gncg.Net_state.create ?backend host profile
+
+let test_auto_selection () =
+  Alcotest.(check string)
+    "tree host + tree network -> tree" "tree"
+    (Gncg.Net_state.backend_id (tree_state ()));
+  Alcotest.(check string)
+    "require_mutable degrades tree to dense" "dense"
+    (Gncg.Net_state.backend_id (tree_state ~require_mutable:true ()));
+  Alcotest.(check string)
+    "points host + complete network -> rd" "rd"
+    (Gncg.Net_state.backend_id (rd_state ()));
+  Alcotest.(check string)
+    "explicit dense overrides auto" "dense"
+    (Gncg.Net_state.backend_id (tree_state ~backend:D.Dense ()));
+  Alcotest.(check string)
+    "explicit mmap" "mmap"
+    (Gncg.Net_state.backend_id (tree_state ~backend:(D.Mmap None) ()));
+  let r = Prng.create 7 in
+  let host =
+    Gncg.Host.make ~alpha:2.0 (Random_host.uniform_metric r ~n:8 ~lo:1.0 ~hi:4.0)
+  in
+  let profile = Instances.random_profile r host in
+  Alcotest.(check string)
+    "no geometry -> dense" "dense"
+    (Gncg.Net_state.backend_id (Gncg.Net_state.create host profile))
+
+let test_cost_parity_across_backends () =
+  let dense = tree_state ~backend:D.Dense () in
+  List.iter
+    (fun (name, st) ->
+      Alcotest.(check bool)
+        (name ^ " social cost matches dense")
+        true
+        (close (Gncg.Net_state.social_cost st) (Gncg.Net_state.social_cost dense));
+      for a = 0 to 11 do
+        Alcotest.(check bool)
+          (Printf.sprintf "%s agent %d cost matches dense" name a)
+          true
+          (close (Gncg.Net_state.agent_cost st a) (Gncg.Net_state.agent_cost dense a))
+      done)
+    [
+      ("tree", tree_state ());
+      ("mmap", tree_state ~backend:(D.Mmap None) ());
+    ];
+  (* rd parity on its own complete-network instance. *)
+  let rd = rd_state () in
+  let dense_rd = rd_state ~backend:D.Dense () in
+  Alcotest.(check bool)
+    "rd social cost matches dense" true
+    (close (Gncg.Net_state.social_cost rd) (Gncg.Net_state.social_cost dense_rd))
+
+let test_best_response_parity () =
+  (* The response engine on an oracle-backed state must agree with the
+     dense one (same instance, same candidate order). *)
+  let a = tree_state () and b = tree_state ~backend:D.Dense () in
+  for agent = 0 to 11 do
+    let ga = Gncg.Fast_response.move_gains_state a ~agent in
+    let gb = Gncg.Fast_response.move_gains_state b ~agent in
+    Alcotest.(check int)
+      (Printf.sprintf "agent %d gain list lengths" agent)
+      (List.length gb) (List.length ga);
+    List.iter2
+      (fun (ma, va) (mb, vb) ->
+        Alcotest.(check bool) "same move" true (ma = mb);
+        Alcotest.(check bool) "same gain" true (close va vb))
+      ga gb
+  done
+
+let test_nearest_target () =
+  let rd = rd_state () in
+  match Gncg.Net_state.nearest_target rd 0 with
+  | None -> Alcotest.fail "rd state must expose a nearest target"
+  | Some (v, w) ->
+    Alcotest.(check bool) "target is another vertex" true (v <> 0);
+    Alcotest.(check bool) "distance positive" true (w > 0.0);
+    let dense = tree_state ~backend:D.Dense () in
+    Alcotest.(check bool)
+      "dense has no geometric index" true
+      (Gncg.Net_state.nearest_target dense 0 = None)
+
+(* --- sentinel: inject -> detect -> repair, per backend --- *)
+
+let sentinel_case name make_backend oracle =
+  ( "sentinel " ^ name,
+    `Quick,
+    fun () ->
+      let d = make_backend () in
+      let n = D.n d in
+      Alcotest.(check bool) (name ^ " clean probe") true (D.selfcheck_now d);
+      D.inject_cell_error d 1 3 0.5;
+      let detected = ref false in
+      for _ = 1 to n do
+        if not (D.selfcheck_now d) then detected := true
+      done;
+      Alcotest.(check bool) (name ^ " detects injected fault") true !detected;
+      Alcotest.(check bool) (name ^ " healed") true (D.selfcheck_now d);
+      let reference = oracle () in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if not (close (D.distance d u v) reference.(u).(v)) then ok := false
+        done
+      done;
+      Alcotest.(check bool) (name ^ " matches oracle after repair") true !ok )
+
+let sentinel_tests =
+  let n = 12 in
+  let graph () = random_tree (Prng.create 21) n in
+  let pts () =
+    Euclidean.random_uniform (Prng.create 22) ~n ~d:2 ~lo:0.0 ~hi:10.0
+  in
+  [
+    sentinel_case "dense"
+      (fun () -> D.dense (graph ()))
+      (fun () -> Dijkstra.apsp (graph ()));
+    sentinel_case "mmap"
+      (fun () -> D.mmap (graph ()))
+      (fun () -> Dijkstra.apsp (graph ()));
+    sentinel_case "tree"
+      (fun () -> D.tree (graph ()))
+      (fun () -> Dijkstra.apsp (graph ()));
+    sentinel_case "rd"
+      (fun () -> D.rd Pnorm.L2 (pts ()))
+      (fun () ->
+        Gncg_metric.Metric.to_matrix (Euclidean.metric Euclidean.L2 (pts ())));
+  ]
+
+(* --- read-only oracles refuse mutation; Net_state resolution guards --- *)
+
+let test_oracles_are_read_only () =
+  let td = D.tree (random_tree (Prng.create 31) 8) in
+  let rd =
+    D.rd Pnorm.L2 (Euclidean.random_uniform (Prng.create 32) ~n:8 ~d:2 ~lo:0.0 ~hi:1.0)
+  in
+  List.iter
+    (fun (name, d) ->
+      Alcotest.(check bool) (name ^ " is read-only") false (D.is_mutable d);
+      (try
+         ignore (D.add_edge d 0 5 1.0);
+         Alcotest.fail (name ^ " add_edge must raise Unsupported")
+       with D.Unsupported _ -> ());
+      try
+        ignore (D.remove_edge d 0 1);
+        Alcotest.fail (name ^ " remove_edge must raise Unsupported")
+      with D.Unsupported _ -> ())
+    [ ("tree", td); ("rd", rd) ]
+
+let test_spec_round_trip () =
+  List.iter
+    (fun s ->
+      match D.spec_of_string s with
+      | Ok spec -> Alcotest.(check string) s s (D.spec_to_string spec)
+      | Error e -> Alcotest.fail e)
+    [ "auto"; "dense"; "tree"; "rd"; "mmap"; "mmap:/tmp/x.bin" ];
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (Result.is_error (D.spec_of_string "quantum"))
+
+let suites =
+  [
+    ( "distances-backends",
+      [
+        qtest "tree oracle = fresh Dijkstra" seed_gen prop_tree_matches_dijkstra;
+        qtest "tree kernels = dense kernels" seed_gen prop_tree_kernels_match_dense;
+        qtest "tree what-ifs = dense what-ifs" seed_gen prop_tree_whatif_matches_dense;
+        qtest "rd oracle = tabulated metric" seed_gen prop_rd_matches_metric;
+        qtest "rd what-ifs = dense on complete graph" seed_gen
+          prop_rd_whatif_matches_dense;
+        qtest ~count:20 "mmap = dense through edits (rows + matrix)" seed_gen
+          prop_mmap_matches_dense_under_edits;
+        Alcotest.test_case "file-backed mmap matches dense" `Quick
+          test_mmap_file_backed;
+        qtest "k-d nearest = linear scan" seed_gen prop_kd_nearest_matches_linear;
+      ] );
+    ( "distances-net-state",
+      [
+        Alcotest.test_case "auto backend selection" `Quick test_auto_selection;
+        Alcotest.test_case "cost parity across backends" `Quick
+          test_cost_parity_across_backends;
+        Alcotest.test_case "best-response parity tree vs dense" `Quick
+          test_best_response_parity;
+        Alcotest.test_case "nearest target via k-d index" `Quick test_nearest_target;
+        Alcotest.test_case "oracles are read-only" `Quick test_oracles_are_read_only;
+        Alcotest.test_case "spec round-trip" `Quick test_spec_round_trip;
+      ] );
+    ("distances-sentinel", sentinel_tests);
+  ]
