@@ -139,9 +139,10 @@ let run ?(n = 100) ~path () =
   Printf.printf "bench4: dynamics-converge n=%d (5 runs)...\n%!" n;
   let converge () =
     match
-      Gncg.Dynamics.run ~max_steps:50_000 ~evaluator:`Incremental
-        ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host
-        start
+      Gncg.Dynamics.run
+        (Gncg.Dynamics.Config.make ~max_steps:50_000 ~evaluator:`Incremental
+           Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+        host start
     with
     | Gncg.Dynamics.Converged { profile; _ } -> profile
     | _ ->

@@ -244,9 +244,10 @@ let run_scaling cfg =
 
 let converge host start =
   match
-    Gncg.Dynamics.run ~max_steps:500_000 ~evaluator:`Incremental
-      ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host
-      start
+    Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:500_000 ~evaluator:`Incremental
+         Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host start
   with
   | Gncg.Dynamics.Converged { profile; _ } -> profile
   | _ ->

@@ -31,8 +31,10 @@ let e1_poa_onetwo_small_alpha () =
             let host = Gncg.Host.make ~alpha (Gncg_metric.One_two.random r ~n ~p_one:0.5) in
             let start = W.Instances.random_profile r host in
             match
-              Gncg.Dynamics.run ~max_steps:800 ~rule:Gncg.Dynamics.Best_response
-                ~scheduler:Gncg.Dynamics.Round_robin host start
+              Gncg.Dynamics.run
+                (Gncg.Dynamics.Config.make ~max_steps:800 Gncg.Dynamics.Best_response
+                   Gncg.Dynamics.Round_robin)
+                host start
             with
             | Gncg.Dynamics.Converged { profile; _ } ->
               incr conv;
@@ -121,8 +123,10 @@ let e3_onetwo_large_alpha () =
         in
         let start = W.Instances.random_profile r host in
         match
-          Gncg.Dynamics.run ~max_steps:4000 ~rule:Gncg.Dynamics.Greedy_response
-            ~scheduler:Gncg.Dynamics.Round_robin host start
+          Gncg.Dynamics.run
+            (Gncg.Dynamics.Config.make ~max_steps:4000 Gncg.Dynamics.Greedy_response
+               Gncg.Dynamics.Round_robin)
+            host start
         with
         | Gncg.Dynamics.Converged { profile; _ } ->
           diams := Gncg.Network.diameter host profile :: !diams
@@ -188,8 +192,10 @@ let e5_tree_ne_structure () =
     let host = Gncg.Host.make ~alpha (Gncg_metric.Tree_metric.metric tree) in
     let start = W.Instances.random_profile r host in
     match
-      Gncg.Dynamics.run ~max_steps:600 ~rule:Gncg.Dynamics.Best_response
-        ~scheduler:Gncg.Dynamics.Round_robin host start
+      Gncg.Dynamics.run
+        (Gncg.Dynamics.Config.make ~max_steps:600 Gncg.Dynamics.Best_response
+           Gncg.Dynamics.Round_robin)
+        host start
     with
     | Gncg.Dynamics.Converged { profile; _ } ->
       incr total;
@@ -456,8 +462,10 @@ let e13_metric_upper_bound () =
         let host = W.Instances.random_host r model ~n:6 ~alpha in
         let start = W.Instances.random_profile r host in
         match
-          Gncg.Dynamics.run ~max_steps:400 ~rule:Gncg.Dynamics.Best_response
-            ~scheduler:Gncg.Dynamics.Round_robin host start
+          Gncg.Dynamics.run
+            (Gncg.Dynamics.Config.make ~max_steps:400 Gncg.Dynamics.Best_response
+               Gncg.Dynamics.Round_robin)
+            host start
         with
         | Gncg.Dynamics.Converged { profile; _ } ->
           incr count;
@@ -502,8 +510,10 @@ let e14_approx_ne () =
     in
     let start = W.Instances.random_profile r host in
     match
-      Gncg.Dynamics.run ~max_steps:2000 ~rule:Gncg.Dynamics.Add_only
-        ~scheduler:Gncg.Dynamics.Round_robin host start
+      Gncg.Dynamics.run
+        (Gncg.Dynamics.Config.make ~max_steps:2000 Gncg.Dynamics.Add_only
+           Gncg.Dynamics.Round_robin)
+        host start
     with
     | Gncg.Dynamics.Converged { profile; _ } ->
       let ge = Gncg.Equilibrium.approx_factor Gncg.Equilibrium.GE host profile in
@@ -538,8 +548,10 @@ let e15_spanner_lemmas () =
     in
     let start = W.Instances.random_profile r host in
     match
-      Gncg.Dynamics.run ~max_steps:2000 ~rule:Gncg.Dynamics.Add_only
-        ~scheduler:Gncg.Dynamics.Round_robin host start
+      Gncg.Dynamics.run
+        (Gncg.Dynamics.Config.make ~max_steps:2000 Gncg.Dynamics.Add_only
+           Gncg.Dynamics.Round_robin)
+        host start
     with
     | Gncg.Dynamics.Converged { profile; _ } ->
       let ae_stretch = Gncg.Quality.host_stretch host (Gncg.Network.graph host profile) in
@@ -678,9 +690,10 @@ let e18_one_inf () =
         let host = Gncg.Host.make ~alpha (Gncg_metric.One_inf.random_connected r ~n:12 ~p:0.25) in
         let start = W.Instances.random_profile r host in
         match
-          Gncg.Dynamics.run ~max_steps:4000 ~evaluator:`Incremental
-            ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host
-            start
+          Gncg.Dynamics.run
+            (Gncg.Dynamics.Config.make ~max_steps:4000 ~evaluator:`Incremental
+               Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+            host start
         with
         | Gncg.Dynamics.Converged { profile; _ } ->
           let c = Gncg.Cost.social_cost host profile in
@@ -781,8 +794,10 @@ let e20_convergence_speed () =
                 let host = W.Instances.random_host r model ~n ~alpha:2.0 in
                 let start = W.Instances.random_profile r host in
                 match
-                  Gncg.Dynamics.run ~max_steps:8000 ~evaluator:`Incremental ~rule
-                    ~scheduler:Gncg.Dynamics.Round_robin host start
+                  Gncg.Dynamics.run
+                    (Gncg.Dynamics.Config.make ~max_steps:8000 ~evaluator:`Incremental
+                       rule Gncg.Dynamics.Round_robin)
+                    host start
                 with
                 | Gncg.Dynamics.Converged { steps; _ } ->
                   incr conv;
@@ -836,9 +851,10 @@ let e21_scaling () =
           let start = W.Instances.random_profile r host in
           let t0 = Sys.time () in
           match
-            Gncg.Dynamics.run ~max_steps:20_000 ~evaluator:`Incremental
-              ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host
-              start
+            Gncg.Dynamics.run
+              (Gncg.Dynamics.Config.make ~max_steps:20_000 ~evaluator:`Incremental
+                 Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+              host start
           with
           | Gncg.Dynamics.Converged { profile; steps; _ } ->
             let elapsed = Sys.time () -. t0 in

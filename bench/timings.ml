@@ -22,8 +22,10 @@ let prepared () =
   let profile10 = Gncg_workload.Instances.random_profile rng host10 in
   let ge_of host start =
     match
-      Gncg.Dynamics.run ~max_steps:50_000 ~evaluator:`Incremental
-        ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host start
+      Gncg.Dynamics.run
+        (Gncg.Dynamics.Config.make ~max_steps:50_000 ~evaluator:`Incremental
+           Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+        host start
     with
     | Gncg.Dynamics.Converged { profile; _ } -> profile
     | _ -> start
@@ -111,13 +113,15 @@ let prepared () =
        two measure identical work. *)
     Test.make ~name:"dynamics/greedy reference (n=100, 100 steps)" (Staged.stage (fun () ->
         ignore
-          (Gncg.Dynamics.run ~max_steps:100 ~evaluator:`Reference
-             ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin
+          (Gncg.Dynamics.run
+             (Gncg.Dynamics.Config.make ~max_steps:100 ~evaluator:`Reference
+                Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
              host100 start100)));
     Test.make ~name:"dynamics/greedy incremental (n=100, 100 steps)" (Staged.stage (fun () ->
         ignore
-          (Gncg.Dynamics.run ~max_steps:100 ~evaluator:`Incremental
-             ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin
+          (Gncg.Dynamics.run
+             (Gncg.Dynamics.Config.make ~max_steps:100 ~evaluator:`Incremental
+                Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
              host100 start100)));
     (* Equilibrium verification: sequential vs domain-parallel per-agent
        scans.  [is_ge] is the polynomial scan; [is_ne] runs the exact

@@ -62,8 +62,9 @@ let () =
 
   let start = Gncg_workload.Instances.random_profile rng host in
   (match
-     Gncg.Dynamics.run ~max_steps:6000 ~rule:Gncg.Dynamics.Greedy_response
-       ~scheduler:Gncg.Dynamics.Round_robin host start
+     Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:6000 Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host start
    with
   | Gncg.Dynamics.Converged { profile; _ } -> add "selfish (random start)" ~profile (Gncg.Network.graph host profile)
   | _ -> print_endline "note: selfish dynamics did not settle");

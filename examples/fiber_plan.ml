@@ -31,8 +31,9 @@ let () =
         let start = Gncg.Strategy.of_graph_arbitrary_owners opt_g in
         let stable, converged =
           match
-            Gncg.Dynamics.run ~max_steps:4000 ~rule:Gncg.Dynamics.Greedy_response
-              ~scheduler:Gncg.Dynamics.Round_robin host start
+            Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:4000 Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host start
           with
           | Gncg.Dynamics.Converged { profile; _ } -> (profile, true)
           | Gncg.Dynamics.Cycle { profiles; _ } -> (List.hd profiles, false)
@@ -62,8 +63,9 @@ let () =
   let opt_g, _ = Gncg.Social_optimum.greedy_heuristic host in
   let start = Gncg.Strategy.of_graph_arbitrary_owners opt_g in
   (match
-     Gncg.Dynamics.run ~max_steps:4000 ~rule:Gncg.Dynamics.Greedy_response
-       ~scheduler:Gncg.Dynamics.Round_robin host start
+     Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:4000 Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host start
    with
   | Gncg.Dynamics.Converged { profile; _ } ->
     let g = Gncg.Network.graph host profile in

@@ -39,8 +39,9 @@ let () =
         let r = Gncg_util.Prng.create (1000 + i) in
         let start = Gncg_workload.Instances.random_profile r host in
         match
-          Gncg.Dynamics.run ~max_steps:4000 ~rule:Gncg.Dynamics.Greedy_response
-            ~scheduler:Gncg.Dynamics.Round_robin host start
+          Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:4000 Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host start
         with
         | Gncg.Dynamics.Converged { profile; rounds; _ } -> Some (profile, rounds)
         | _ -> None)

@@ -22,8 +22,9 @@ let () =
   let rng = Gncg_util.Prng.create 2019 in
   let start = Gncg_workload.Instances.random_profile rng host in
   (match
-     Gncg.Dynamics.run ~max_steps:500 ~rule:Gncg.Dynamics.Best_response
-       ~scheduler:Gncg.Dynamics.Round_robin host start
+     Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:500 Gncg.Dynamics.Best_response Gncg.Dynamics.Round_robin)
+      host start
    with
   | Gncg.Dynamics.Converged { profile; rounds; _ } ->
     Printf.printf "Best-response dynamics converged in %d rounds.\n" rounds;

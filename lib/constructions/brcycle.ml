@@ -115,7 +115,7 @@ type found = {
 let try_once ?(max_steps = 400) rule rng host =
   let start = random_profile rng host in
   let scheduler = Dynamics.Random_order (Prng.split rng) in
-  match Dynamics.run ~max_steps ~rule ~scheduler host start with
+  match Dynamics.run (Dynamics.Config.make ~max_steps rule scheduler) host start with
   | Dynamics.Cycle { profiles; _ } -> Some { host; start; cycle = profiles; rule }
   | Dynamics.Converged _ | Dynamics.Out_of_steps _ -> None
 

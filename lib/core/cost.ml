@@ -71,13 +71,3 @@ let network_social_cost ?(exec = Gncg_util.Exec.Seq) host g =
           Flt.sum (Gncg_graph.Dijkstra.sssp g u))
     in
     (Host.alpha host *. Gncg_graph.Wgraph.total_weight g) +. Flt.sum dist
-
-(* BEGIN deprecated _parallel aliases *)
-
-let social_cost_parallel ?domains host s =
-  social_cost ~exec:(Gncg_util.Exec.Par { domains }) host s
-
-let network_social_cost_parallel ?domains host g =
-  network_social_cost ~exec:(Gncg_util.Exec.Par { domains }) host g
-
-(* END deprecated _parallel aliases *)

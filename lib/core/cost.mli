@@ -38,13 +38,3 @@ val network_social_cost : ?exec:Gncg_util.Exec.t -> Host.t -> Gncg_graph.Wgraph.
     [α · Σ_e w(e) + Σ_u Σ_v d(u,v)].  Defaults to [Exec.Seq]. *)
 
 val network_parts : Host.t -> Gncg_graph.Wgraph.t -> parts
-
-(* BEGIN deprecated _parallel aliases *)
-
-val social_cost_parallel : ?domains:int -> Host.t -> Strategy.t -> float
-[@@ocaml.deprecated "Use Cost.social_cost ?exec:(Par { domains }) instead."]
-
-val network_social_cost_parallel : ?domains:int -> Host.t -> Gncg_graph.Wgraph.t -> float
-[@@ocaml.deprecated "Use Cost.network_social_cost ?exec:(Par { domains }) instead."]
-
-(* END deprecated _parallel aliases *)

@@ -119,26 +119,6 @@ let certify ?(exec = Exec.Seq) kind host s =
     let per_agent = Exec.init ~exec n (agent_grievance kind host s) in
     verdict_of_grievances (List.filter_map Fun.id (Array.to_list per_agent))
 
-(* BEGIN deprecated _parallel aliases *)
-
-let par domains = Exec.Par { domains }
-
-let is_ae_parallel ?domains host s = is_ae ~exec:(par domains) host s
-
-let is_ge_parallel ?domains host s = is_ge ~exec:(par domains) host s
-
-let is_ne_parallel ?oracle ?domains host s = is_ne ?oracle ~exec:(par domains) host s
-
-let is_equilibrium_parallel ?domains kind host s =
-  is_equilibrium ~exec:(par domains) kind host s
-
-let unhappy_agents_parallel ?domains kind host s =
-  unhappy_agents ~exec:(par domains) kind host s
-
-let certify_parallel ?domains kind host s = certify ~exec:(par domains) kind host s
-
-(* END deprecated _parallel aliases *)
-
 let pp_grievance fmt g =
   Format.fprintf fmt "agent %d pays %.4f but could pay %.4f" g.agent g.current_cost
     g.best_cost;
@@ -182,7 +162,7 @@ module Tracker = struct
           Fast_response.best_move_state_verdict ~kinds:(kinds_of t.kind) t.st ~agent:u
         in
         (best = None, rl)
-      | `Fast ->
+      | `Fast | `Stateless ->
         let best =
           Fast_response.best_move ~kinds:(kinds_of t.kind) (Net_state.host t.st)
             (Net_state.profile t.st) ~agent:u

@@ -63,30 +63,6 @@ val certify :
 
 val pp_grievance : Format.formatter -> grievance -> unit
 
-(* BEGIN deprecated _parallel aliases *)
-
-val is_ae_parallel : ?domains:int -> Host.t -> Strategy.t -> bool
-[@@ocaml.deprecated "Use Equilibrium.is_ae ?exec:(Par { domains }) instead."]
-
-val is_ge_parallel : ?domains:int -> Host.t -> Strategy.t -> bool
-[@@ocaml.deprecated "Use Equilibrium.is_ge ?exec:(Par { domains }) instead."]
-
-val is_ne_parallel :
-  ?oracle:[ `Branch_and_bound | `Enumerate ] -> ?domains:int -> Host.t -> Strategy.t -> bool
-[@@ocaml.deprecated "Use Equilibrium.is_ne ?exec:(Par { domains }) instead."]
-
-val is_equilibrium_parallel : ?domains:int -> kind -> Host.t -> Strategy.t -> bool
-[@@ocaml.deprecated "Use Equilibrium.is_equilibrium ?exec:(Par { domains }) instead."]
-
-val unhappy_agents_parallel : ?domains:int -> kind -> Host.t -> Strategy.t -> int list
-[@@ocaml.deprecated "Use Equilibrium.unhappy_agents ?exec:(Par { domains }) instead."]
-
-val certify_parallel :
-  ?domains:int -> kind -> Host.t -> Strategy.t -> (unit, grievance list) result
-[@@ocaml.deprecated "Use Equilibrium.certify ?exec:(Par { domains }) instead."]
-
-(* END deprecated _parallel aliases *)
-
 (** Cached equilibrium scanning over a live {!Net_state.t}.
 
     Dynamics and search loops repeatedly ask "is this still an

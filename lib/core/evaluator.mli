@@ -1,4 +1,4 @@
-(** The engine's three best-move evaluators — one shared type for
+(** The engine's best-move evaluators — one shared type for
     [Dynamics.run], [Dynamics.deviation], the equilibrium trackers and
     the runs subsystem (each used to declare its own copy of this
     polymorphic variant).
@@ -6,20 +6,27 @@
     - [`Reference]: rebuild the network and run fresh Dijkstras per
       candidate move — the specification the others are tested against;
     - [`Fast]: batched gain evaluation with shared SSSP passes;
+    - [`Stateless]: explicit alias of [`Fast] for call sites with no
+      threaded state ({!Dynamics.deviation}): passing [`Incremental]
+      there degrades to this evaluator and is counted on
+      [dynamics.evaluator_degradations] — pass [`Stateless] to say so
+      on purpose;
     - [`Incremental]: the live distance-matrix engine ({!Net_state} +
       {!Fast_response}) — the hot path. *)
 
 type t =
   [ `Reference
   | `Fast
+  | `Stateless
   | `Incremental
   ]
 
 val all : t list
 
 val to_string : t -> string
-(** ["reference"] | ["fast"] | ["incremental"] — the spelling used by
-    the [--evaluator] CLI flag and the journal manifests. *)
+(** ["reference"] | ["fast"] | ["stateless"] | ["incremental"] — the
+    spelling used by the [--evaluator] CLI flag and the journal
+    manifests. *)
 
 val of_string : string -> (t, string) result
 

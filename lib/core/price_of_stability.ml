@@ -57,7 +57,7 @@ let exact ?max_pairs host =
       }
 
 let run_to_stable ?(rule = Dynamics.Greedy_response) ?(max_steps = 5000) host start =
-  match Dynamics.run ~max_steps ~rule ~scheduler:Dynamics.Round_robin host start with
+  match Dynamics.run (Dynamics.Config.make ~max_steps rule Dynamics.Round_robin) host start with
   | Dynamics.Converged { profile; _ } -> Some (profile, Cost.social_cost host profile)
   | Dynamics.Cycle _ | Dynamics.Out_of_steps _ -> None
 

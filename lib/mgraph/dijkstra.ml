@@ -112,12 +112,6 @@ let distance g u v = (sssp g u).(v)
 let apsp ?(exec = Gncg_util.Exec.Seq) g =
   Gncg_util.Exec.init ~exec (Wgraph.n g) (fun s -> sssp g s)
 
-(* BEGIN deprecated _parallel aliases *)
-
-let apsp_parallel ?domains g = apsp ~exec:(Gncg_util.Exec.Par { domains }) g
-
-(* END deprecated _parallel aliases *)
-
 let path g u v =
   let dist, parent = run g u in
   if dist.(v) = Float.infinity then None

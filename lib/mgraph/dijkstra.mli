@@ -45,13 +45,6 @@ val apsp : ?exec:Gncg_util.Exec.t -> Wgraph.t -> float array array
     OCaml 5 domains (the graph must not be mutated concurrently), with
     an identical result. *)
 
-(* BEGIN deprecated _parallel aliases *)
-
-val apsp_parallel : ?domains:int -> Wgraph.t -> float array array
-[@@ocaml.deprecated "Use Dijkstra.apsp ?exec:(Par { domains }) instead."]
-
-(* END deprecated _parallel aliases *)
-
 val path : Wgraph.t -> int -> int -> int list option
 (** Vertex sequence of one shortest path from [u] to [v], inclusive. *)
 

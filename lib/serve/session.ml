@@ -202,9 +202,10 @@ let run_eq_check t r ~model ~n ~alpha ~seed ~check ~stabilize =
   let profile, dyn_fields =
     if stabilize then
       outcome_fields
-        (Gncg.Dynamics.run ~max_steps:5000 ~evaluator:`Incremental
-           ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host
-           profile)
+        (Gncg.Dynamics.run
+           (Gncg.Dynamics.Config.make ~max_steps:5000 ~evaluator:`Incremental
+              Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+           host profile)
     else (profile, [])
   in
   let holds = Gncg.Equilibrium.is_equilibrium ~exec:(exec_of t) check host profile in

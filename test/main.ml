@@ -9,4 +9,5 @@ let () =
    @ Test_serialize.suites @ Test_guards.suites @ Test_coverage.suites
    @ Test_props.suites @ Test_incr.suites @ Test_flat.suites @ Test_runs.suites
    @ Test_obs.suites @ Test_exec.suites @ Test_error.suites @ Test_sentinel.suites
-   @ Test_chaos.suites @ Test_serve.suites @ Test_distances.suites)
+   @ Test_chaos.suites @ Test_serve.suites @ Test_distances.suites
+   @ Test_speculative.suites)

@@ -107,8 +107,9 @@ let test_thm12_ne_is_tree () =
                  (Gncg_metric.Tree_metric.metric tree) in
     let start = Gncg_workload.Instances.random_profile r host in
     match
-      Gncg.Dynamics.run ~max_steps:400 ~rule:Gncg.Dynamics.Best_response
-        ~scheduler:Gncg.Dynamics.Round_robin host start
+      Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:400 Gncg.Dynamics.Best_response Gncg.Dynamics.Round_robin)
+      host start
     with
     | Gncg.Dynamics.Converged { profile; _ } ->
       incr checked;

@@ -14,15 +14,14 @@ let test_converged_is_equilibrium () =
     let host = small_metric_host r ~n:6 ~alpha:(0.5 +. Prng.float r 2.0) in
     let start = Gncg_workload.Instances.random_profile r host in
     (match
-       Dyn.run ~max_steps:4000 ~rule:Dyn.Greedy_response ~scheduler:Dyn.Round_robin host
-         start
+       Dyn.run (Dyn.Config.make ~max_steps:4000 Dyn.Greedy_response Dyn.Round_robin) host start
      with
     | Dyn.Converged { profile; _ } ->
       incr checked;
       check_true "converged => GE" (Eq.is_ge host profile)
     | _ -> ());
     match
-      Dyn.run ~max_steps:600 ~rule:Dyn.Best_response ~scheduler:Dyn.Round_robin host start
+      Dyn.run (Dyn.Config.make ~max_steps:600 Dyn.Best_response Dyn.Round_robin) host start
     with
     | Dyn.Converged { profile; _ } ->
       incr checked;
@@ -39,7 +38,7 @@ let test_add_only_always_converges () =
        rescue an infinite cost, so add-only dynamics idle there. *)
     let start = Gncg_workload.Instances.random_profile r host in
     match
-      Dyn.run ~max_steps:5000 ~rule:Dyn.Add_only ~scheduler:Dyn.Round_robin host start
+      Dyn.run (Dyn.Config.make ~max_steps:5000 Dyn.Add_only Dyn.Round_robin) host start
     with
     | Dyn.Converged { profile; _ } ->
       check_true "result is AE" (Eq.is_ae host profile);
@@ -49,8 +48,7 @@ let test_add_only_always_converges () =
   (* The empty-start plateau itself: dynamics converge immediately. *)
   let host = small_metric_host r ~n:6 ~alpha:1.0 in
   match
-    Dyn.run ~max_steps:100 ~rule:Dyn.Add_only ~scheduler:Dyn.Round_robin host
-      (Strategy.empty 6)
+    Dyn.run (Dyn.Config.make ~max_steps:100 Dyn.Add_only Dyn.Round_robin) host (Strategy.empty 6)
   with
   | Dyn.Converged { profile; steps; _ } ->
     check_true "no moves from empty" (steps = []);
@@ -61,7 +59,7 @@ let test_steps_strictly_improve () =
   let r = rng 402 in
   let host = small_metric_host r ~n:6 ~alpha:1.5 in
   let start = Gncg_workload.Instances.random_profile r host in
-  match Dyn.run ~max_steps:2000 ~rule:Dyn.Greedy_response ~scheduler:Dyn.Round_robin host start with
+  match Dyn.run (Dyn.Config.make ~max_steps:2000 Dyn.Greedy_response Dyn.Round_robin) host start with
   | Dyn.Converged { steps; _ } | Dyn.Cycle { steps; _ } | Dyn.Out_of_steps { steps; _ } ->
     List.iter
       (fun (st : Dyn.step) ->
@@ -79,7 +77,7 @@ let test_out_of_steps () =
   let r = rng 403 in
   let host = small_metric_host r ~n:6 ~alpha:1.0 in
   let start = Strategy.empty 6 in
-  match Dyn.run ~max_steps:1 ~rule:Dyn.Add_only ~scheduler:Dyn.Round_robin host start with
+  match Dyn.run (Dyn.Config.make ~max_steps:1 Dyn.Add_only Dyn.Round_robin) host start with
   | Dyn.Out_of_steps _ -> ()
   | Dyn.Converged _ -> Alcotest.fail "cannot converge in one step from empty"
   | Dyn.Cycle _ -> Alcotest.fail "cannot cycle in one step"
@@ -89,7 +87,7 @@ let test_random_scheduler_runs () =
   let host = small_metric_host r ~n:5 ~alpha:1.0 in
   let start = Gncg_workload.Instances.random_profile r host in
   let scheduler = Dyn.Random_order (Prng.create 99) in
-  match Dyn.run ~max_steps:3000 ~rule:Dyn.Greedy_response ~scheduler host start with
+  match Dyn.run (Dyn.Config.make ~max_steps:3000 Dyn.Greedy_response scheduler) host start with
   | Dyn.Converged { profile; _ } -> check_true "GE under random order" (Eq.is_ge host profile)
   | Dyn.Cycle { profiles; _ } ->
     check_true "cycle is verified" (Gncg_constructions.Brcycle.verify_cycle host profiles)

@@ -38,8 +38,9 @@ let test_ge_but_not_ne () =
       let host = Gncg_workload.Instances.random_host r model ~n ~alpha in
       let start = Gncg_workload.Instances.random_profile r host in
       match
-        Gncg.Dynamics.run ~max_steps:2000 ~rule:Gncg.Dynamics.Greedy_response
-          ~scheduler:Gncg.Dynamics.Round_robin host start
+        Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:2000 Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host start
       with
       | Gncg.Dynamics.Converged { profile; _ } ->
         if Eq.is_ge host profile && not (Eq.is_ne host profile) then incr witnesses
@@ -120,8 +121,9 @@ let test_thm2_ae_is_alpha_plus_one_ge () =
     let host = Host.make ~alpha m in
     let start = Gncg_workload.Instances.random_profile r host in
     match
-      Gncg.Dynamics.run ~max_steps:3000 ~rule:Gncg.Dynamics.Add_only
-        ~scheduler:Gncg.Dynamics.Round_robin host start
+      Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:3000 Gncg.Dynamics.Add_only Gncg.Dynamics.Round_robin)
+      host start
     with
     | Gncg.Dynamics.Converged { profile; _ } ->
       check_true "converged profile is AE" (Eq.is_ae host profile);
@@ -140,8 +142,9 @@ let test_cor2_ae_is_3alpha1_ne () =
     let host = Host.make ~alpha m in
     let start = Gncg_workload.Instances.random_profile r host in
     match
-      Gncg.Dynamics.run ~max_steps:3000 ~rule:Gncg.Dynamics.Add_only
-        ~scheduler:Gncg.Dynamics.Round_robin host start
+      Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:3000 Gncg.Dynamics.Add_only Gncg.Dynamics.Round_robin)
+      host start
     with
     | Gncg.Dynamics.Converged { profile; _ } ->
       let factor = Eq.approx_factor Eq.NE host profile in
@@ -159,8 +162,9 @@ let test_thm3_ge_is_3ne () =
     let host = Host.make ~alpha m in
     let start = Gncg_workload.Instances.random_profile r host in
     match
-      Gncg.Dynamics.run ~max_steps:5000 ~rule:Gncg.Dynamics.Greedy_response
-        ~scheduler:Gncg.Dynamics.Round_robin host start
+      Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:5000 Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host start
     with
     | Gncg.Dynamics.Converged { profile; _ } ->
       check_true "converged profile is GE" (Eq.is_ge host profile);

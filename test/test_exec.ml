@@ -1,13 +1,6 @@
-(* The unified execution API (Gncg_util.Exec): parsing, the Seq/Par
-   combinators, and — the migration contract — that every deprecated
-   [_parallel] alias is extensionally equal to its [?exec] replacement.
-   The aliases are one-line wrappers by construction; these properties
-   pin that down so the wrappers can be deleted in a later PR without
-   re-auditing call sites. *)
-
-[@@@alert "-deprecated"]
-(* This file deliberately calls the deprecated aliases: equality with
-   the ?exec replacements is exactly what is under test. *)
+(* The unified execution API (Gncg_util.Exec): parsing and the Seq/Par
+   combinators.  (The extensional-equality properties for the PR-4
+   [_parallel] aliases lived here until the aliases were deleted.) *)
 
 module Exec = Gncg_util.Exec
 
@@ -63,60 +56,6 @@ let test_combinators () =
         (Exec.exists ~exec n (fun i -> f i = 10)
         = Array.exists (fun x -> x = 10) (Array.init n f)))
     [ Exec.Seq; Exec.Par { domains = Some 3 } ]
-
-(* Each property seeds an instance, then demands exact (structural)
-   equality between the alias and its ?exec replacement: both sides run
-   the same code path, so even float results must agree bitwise. *)
-let alias_props =
-  let gen = QCheck.(pair (int_range 5 10) small_nat) in
-  let prop name f = QCheck.Test.make ~count:15 ~name gen f in
-  [
-    prop "is_ae_parallel ≡ is_ae ?exec" (fun (n, seed) ->
-        let host, s = instance ~n seed in
-        Gncg.Equilibrium.is_ae_parallel ~domains:3 host s
-        = Gncg.Equilibrium.is_ae ~exec:(Exec.Par { domains = Some 3 }) host s);
-    prop "is_ge_parallel ≡ is_ge ?exec" (fun (n, seed) ->
-        let host, s = instance ~n seed in
-        Gncg.Equilibrium.is_ge_parallel ~domains:3 host s
-        = Gncg.Equilibrium.is_ge ~exec:(Exec.Par { domains = Some 3 }) host s);
-    prop "is_ne_parallel ≡ is_ne ?exec" (fun (n, seed) ->
-        let n = min n 7 in
-        let host, s = instance ~n seed in
-        Gncg.Equilibrium.is_ne_parallel ~domains:2 host s
-        = Gncg.Equilibrium.is_ne ~exec:(Exec.Par { domains = Some 2 }) host s);
-    prop "is_equilibrium_parallel ≡ is_equilibrium ?exec" (fun (n, seed) ->
-        let host, s = instance ~n seed in
-        List.for_all
-          (fun kind ->
-            Gncg.Equilibrium.is_equilibrium_parallel ~domains:3 kind host s
-            = Gncg.Equilibrium.is_equilibrium ~exec:(Exec.Par { domains = Some 3 }) kind
-                host s)
-          [ Gncg.Equilibrium.AE; Gncg.Equilibrium.GE ]);
-    prop "unhappy_agents_parallel ≡ unhappy_agents ?exec" (fun (n, seed) ->
-        let host, s = instance ~n seed in
-        Gncg.Equilibrium.unhappy_agents_parallel ~domains:3 Gncg.Equilibrium.GE host s
-        = Gncg.Equilibrium.unhappy_agents ~exec:(Exec.Par { domains = Some 3 })
-            Gncg.Equilibrium.GE host s);
-    prop "certify_parallel ≡ certify ?exec" (fun (n, seed) ->
-        let host, s = instance ~n seed in
-        Gncg.Equilibrium.certify_parallel ~domains:3 Gncg.Equilibrium.GE host s
-        = Gncg.Equilibrium.certify ~exec:(Exec.Par { domains = Some 3 })
-            Gncg.Equilibrium.GE host s);
-    prop "social_cost_parallel ≡ social_cost ?exec" (fun (n, seed) ->
-        let host, s = instance ~n seed in
-        Gncg.Cost.social_cost_parallel ~domains:3 host s
-        = Gncg.Cost.social_cost ~exec:(Exec.Par { domains = Some 3 }) host s);
-    prop "network_social_cost_parallel ≡ network_social_cost ?exec" (fun (n, seed) ->
-        let host, s = instance ~n seed in
-        let g = Gncg.Network.graph host s in
-        Gncg.Cost.network_social_cost_parallel ~domains:3 host g
-        = Gncg.Cost.network_social_cost ~exec:(Exec.Par { domains = Some 3 }) host g);
-    prop "apsp_parallel ≡ apsp ?exec" (fun (n, seed) ->
-        let host, s = instance ~n seed in
-        let g = Gncg.Network.graph host s in
-        Gncg_graph.Dijkstra.apsp_parallel ~domains:3 g
-        = Gncg_graph.Dijkstra.apsp ~exec:(Exec.Par { domains = Some 3 }) g);
-  ]
 
 (* Seq and Par must agree on every boolean/structural verdict (float
    sums may differ in the last ulps, hence the tolerance on costs). *)
@@ -192,7 +131,6 @@ let suites =
         Alcotest.test_case "domain_count" `Quick test_domain_count;
         Alcotest.test_case "combinators vs sequential" `Quick test_combinators;
       ]
-      @ List.map QCheck_alcotest.to_alcotest alias_props
       @ [
           QCheck_alcotest.to_alcotest prop_seq_par_agree;
           QCheck_alcotest.to_alcotest prop_tracker_evaluators_agree;

@@ -94,8 +94,9 @@ let test_dynamics_evaluators_agree () =
     let n = 6 + Prng.int r 3 in
     let host, start = random_setup r ~n in
     let run evaluator =
-      Gncg.Dynamics.run ~max_steps:4000 ~evaluator ~rule:Gncg.Dynamics.Greedy_response
-        ~scheduler:Gncg.Dynamics.Round_robin host start
+      Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:4000 ~evaluator Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host start
     in
     match (run `Reference, run `Fast) with
     | ( Gncg.Dynamics.Converged { profile = a; _ },

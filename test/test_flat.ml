@@ -3,10 +3,6 @@
    Change reports are compared bitwise against before/after matrix
    diffs: the report must name exactly the rows that differ. *)
 
-(* [fresh_metrics] is deprecated in favor of the obs counters, but the
-   per-run record is exactly what these skip-accounting tests need. *)
-[@@@alert "-deprecated"]
-
 module Prng = Gncg_util.Prng
 module Flt = Gncg_util.Flt
 module Wgraph = Gncg_graph.Wgraph
@@ -188,14 +184,16 @@ let test_tracker_partial_refresh () =
 
 let test_dynamics_skips_clean_agents () =
   let host, s = star_instance () in
-  let metrics = Gncg.Dynamics.fresh_metrics () in
+  let metrics = { Gncg.Dynamics.evaluations = 0; moves = 0; skips = 0 } in
   let outcome =
-    Gncg.Dynamics.run ~evaluator:`Incremental ~metrics ~rule:Gncg.Dynamics.Add_only
-      ~scheduler:Gncg.Dynamics.Round_robin host s
+    Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~evaluator:`Incremental ~metrics Gncg.Dynamics.Add_only Gncg.Dynamics.Round_robin)
+      host s
   in
   let reference =
-    Gncg.Dynamics.run ~evaluator:`Reference ~rule:Gncg.Dynamics.Add_only
-      ~scheduler:Gncg.Dynamics.Round_robin host s
+    Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~evaluator:`Reference Gncg.Dynamics.Add_only Gncg.Dynamics.Round_robin)
+      host s
   in
   match (outcome, reference) with
   | Gncg.Dynamics.Converged { profile; _ }, Gncg.Dynamics.Converged { profile = ref_p; _ } ->
@@ -243,10 +241,11 @@ let prop_tracker_refresh_byte_identical seed =
    run converge to a non-AE). *)
 let prop_incremental_add_only_reaches_ae seed =
   let _, host, s = random_game (seed + 306) ~n:8 in
-  let metrics = Gncg.Dynamics.fresh_metrics () in
+  let metrics = { Gncg.Dynamics.evaluations = 0; moves = 0; skips = 0 } in
   match
-    Gncg.Dynamics.run ~max_steps:4000 ~evaluator:`Incremental ~metrics
-      ~rule:Gncg.Dynamics.Add_only ~scheduler:Gncg.Dynamics.Round_robin host s
+    Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:4000 ~evaluator:`Incremental ~metrics Gncg.Dynamics.Add_only Gncg.Dynamics.Round_robin)
+      host s
   with
   | Gncg.Dynamics.Converged { profile; _ } ->
     metrics.Gncg.Dynamics.evaluations > 0 && Gncg.Equilibrium.is_ae host profile

@@ -127,8 +127,9 @@ let prop_best_move_state_equivalence seed =
 let prop_incremental_dynamics_converge_to_ge seed =
   let _, host, s = random_game (seed + 106) ~n:8 in
   match
-    Gncg.Dynamics.run ~max_steps:4000 ~evaluator:`Incremental
-      ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host s
+    Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:4000 ~evaluator:`Incremental Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host s
   with
   | Gncg.Dynamics.Converged { profile; _ } -> Gncg.Equilibrium.is_ge host profile
   | _ -> false

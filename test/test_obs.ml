@@ -177,8 +177,9 @@ let test_trace_file_roundtrip () =
   in
   let start = Gncg_workload.Instances.random_profile rng host in
   ignore
-    (Gncg.Dynamics.run ~max_steps:4000 ~evaluator:`Incremental
-       ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host start);
+    (Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:4000 ~evaluator:`Incremental Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host start);
   Obs.close_trace ();
   let lines =
     let ic = open_in path in
@@ -252,8 +253,9 @@ let test_four_layer_coverage () =
   let start = Gncg_workload.Instances.random_profile rng host in
   let stable =
     match
-      Gncg.Dynamics.run ~max_steps:6000 ~evaluator:`Incremental
-        ~rule:Gncg.Dynamics.Greedy_response ~scheduler:Gncg.Dynamics.Round_robin host start
+      Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:6000 ~evaluator:`Incremental Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host start
     with
     | Gncg.Dynamics.Converged { profile; _ } -> profile
     | _ -> Alcotest.fail "dynamics did not converge"

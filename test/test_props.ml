@@ -119,8 +119,9 @@ let prop_ae_is_spanner_lemma1 seed =
   in
   let start = Gncg_workload.Instances.random_profile r host in
   match
-    Gncg.Dynamics.run ~max_steps:4000 ~rule:Gncg.Dynamics.Add_only
-      ~scheduler:Gncg.Dynamics.Round_robin host start
+    Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:4000 Gncg.Dynamics.Add_only Gncg.Dynamics.Round_robin)
+      host start
   with
   | Gncg.Dynamics.Converged { profile; _ } ->
     let g = Gncg.Network.graph host profile in
@@ -138,8 +139,9 @@ let prop_ne_social_ratio_respects_thm1 seed =
   in
   let start = Gncg_workload.Instances.random_profile r host in
   match
-    Gncg.Dynamics.run ~max_steps:500 ~rule:Gncg.Dynamics.Best_response
-      ~scheduler:Gncg.Dynamics.Round_robin host start
+    Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:500 Gncg.Dynamics.Best_response Gncg.Dynamics.Round_robin)
+      host start
   with
   | Gncg.Dynamics.Converged { profile; _ } ->
     let ne_cost = Gncg.Cost.social_cost host profile in
@@ -154,8 +156,9 @@ let prop_tree_ne_is_tree_thm12 seed =
   let host = Gncg.Host.make ~alpha (Gncg_metric.Tree_metric.metric tree) in
   let start = Gncg_workload.Instances.random_profile r host in
   match
-    Gncg.Dynamics.run ~max_steps:500 ~rule:Gncg.Dynamics.Best_response
-      ~scheduler:Gncg.Dynamics.Round_robin host start
+    Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:500 Gncg.Dynamics.Best_response Gncg.Dynamics.Round_robin)
+      host start
   with
   | Gncg.Dynamics.Converged { profile; _ } ->
     Gncg_graph.Connectivity.is_tree (Gncg.Network.graph host profile)
@@ -194,8 +197,9 @@ let prop_one_two_poa_one_thm9 seed =
   let host = Gncg.Host.make ~alpha (Gncg_metric.One_two.random r ~n ~p_one:0.5) in
   let start = Gncg_workload.Instances.random_profile r host in
   match
-    Gncg.Dynamics.run ~max_steps:500 ~rule:Gncg.Dynamics.Best_response
-      ~scheduler:Gncg.Dynamics.Round_robin host start
+    Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:500 Gncg.Dynamics.Best_response Gncg.Dynamics.Round_robin)
+      host start
   with
   | Gncg.Dynamics.Converged { profile; _ } ->
     let _, opt = Gncg.Social_optimum.algorithm_one host in

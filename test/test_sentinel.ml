@@ -100,9 +100,9 @@ let test_net_state_verdict_after_repair () =
       (Gncg_workload.Instances.Tree { wmin = 1.0; wmax = 6.0 }) ~n:14 ~alpha:2.0 in
   let profile =
     match
-      Gncg.Dynamics.run ~max_steps:4000 ~rule:Gncg.Dynamics.Greedy_response
-        ~scheduler:Gncg.Dynamics.Round_robin host
-        (Gncg_workload.Instances.random_profile r host)
+      Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:4000 Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host (Gncg_workload.Instances.random_profile r host)
     with
     | Gncg.Dynamics.Converged { profile; _ } -> profile
     | _ -> Alcotest.fail "dynamics did not converge"
@@ -138,9 +138,9 @@ let test_dynamics_transparent_under_sentinel () =
             (Gncg_workload.Instances.Euclid { norm = L2; d = 2; box = 50.0 })
             ~n:16 ~alpha:3.0 in
         match
-          Gncg.Dynamics.run ~max_steps:4000 ~rule:Gncg.Dynamics.Greedy_response
-            ~scheduler:Gncg.Dynamics.Round_robin host
-            (Gncg_workload.Instances.random_profile r host)
+          Gncg.Dynamics.run
+      (Gncg.Dynamics.Config.make ~max_steps:4000 Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
+      host (Gncg_workload.Instances.random_profile r host)
         with
         | Gncg.Dynamics.Converged { profile; steps; _ } ->
           (Gncg.Cost.social_cost host profile, List.length steps)

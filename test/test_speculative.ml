@@ -1,0 +1,331 @@
+(* The speculative dynamics engine: byte-identical equivalence to the
+   sequential engine — same outcome constructor, same step list, same
+   rounds, structurally equal profiles — across rules, schedulers,
+   evaluators, execution shapes, and all distance backends; plus the
+   conflict chaos case (hub instances where commits keep invalidating
+   speculations) and the Engine/Config surface itself. *)
+
+module Dyn = Gncg.Dynamics
+module Prng = Gncg_util.Prng
+module Exec = Gncg_util.Exec
+module Metric = Gncg_obs.Metric
+module D = Gncg_graph.Distances
+
+let check_true msg b = Alcotest.(check bool) msg true b
+
+let random_game seed ~n =
+  let r = Prng.create seed in
+  let alpha = 0.5 +. Prng.float r 3.0 in
+  let model = List.nth Gncg_workload.Instances.default_models (Prng.int r 6) in
+  let host = Gncg_workload.Instances.random_host r model ~n ~alpha in
+  let s = Gncg_workload.Instances.random_profile r host in
+  (host, s)
+
+let steps_equal (a : Dyn.step list) (b : Dyn.step list) =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (x : Dyn.step) (y : Dyn.step) ->
+         x.mover = y.mover
+         && Float.equal x.before_cost y.before_cost
+         && Float.equal x.after_cost y.after_cost)
+       a b
+
+let outcomes_identical a b =
+  match (a, b) with
+  | ( Dyn.Converged { profile = p1; rounds = r1; steps = s1 },
+      Dyn.Converged { profile = p2; rounds = r2; steps = s2 } ) ->
+    Gncg.Strategy.equal p1 p2 && r1 = r2 && steps_equal s1 s2
+  | ( Dyn.Cycle { profiles = ps1; steps = s1 },
+      Dyn.Cycle { profiles = ps2; steps = s2 } ) ->
+    List.length ps1 = List.length ps2
+    && List.for_all2 Gncg.Strategy.equal ps1 ps2
+    && steps_equal s1 s2
+  | ( Dyn.Out_of_steps { profile = p1; steps = s1 },
+      Dyn.Out_of_steps { profile = p2; steps = s2 } ) ->
+    Gncg.Strategy.equal p1 p2 && steps_equal s1 s2
+  | _ -> false
+
+(* Fresh rngs per run: scheduler (and rule) streams must start from the
+   same state on both sides of the comparison. *)
+let scheduler_of code seed =
+  if code = 0 then Dyn.Round_robin else Dyn.Random_order (Prng.create (7919 * seed))
+
+let rule_of code seed =
+  match code with
+  | 0 -> Dyn.Greedy_response
+  | 1 -> Dyn.Add_only
+  | 2 -> Dyn.Best_response
+  | _ -> Dyn.Random_improving (Prng.create (104729 * seed))
+
+let engines =
+  [
+    Dyn.Engine.Speculative { exec = Exec.Seq; batch = 3 };
+    Dyn.Engine.Speculative { exec = Exec.Par { domains = Some 2 }; batch = 0 };
+    Dyn.Engine.Speculative { exec = Exec.Par { domains = Some 3 }; batch = 7 };
+  ]
+
+let run_both ?(n = 8) ?(max_steps = 3000) ~evaluator ~rule_code ~sched_code ~engine seed =
+  let host, start = random_game seed ~n in
+  let go engine =
+    Dyn.run
+      (Dyn.Config.make ~max_steps ~evaluator ~engine (rule_of rule_code seed)
+         (scheduler_of sched_code seed))
+      host start
+  in
+  (go Dyn.Engine.Sequential, go engine)
+
+(* The main equivalence matrix.  The generator draws the whole
+   configuration, so shrinking pins down the offending combination. *)
+let prop_speculative_equals_sequential =
+  let gen =
+    QCheck.(
+      quad small_nat (int_range 0 3) (* seed, rule *)
+        (int_range 0 1) (* scheduler *)
+        (int_range 0 2) (* engine shape *))
+  in
+  QCheck.Test.make ~count:120 ~name:"speculative ≡ sequential (all rules/schedulers)"
+    gen
+    (fun (seed, rule_code, sched_code, engine_idx) ->
+      let evaluator = List.nth [ `Incremental; `Reference; `Fast ] (seed mod 3) in
+      let a, b =
+        run_both ~evaluator ~rule_code ~sched_code
+          ~engine:(List.nth engines engine_idx) (seed + 11)
+      in
+      outcomes_identical a b)
+
+(* The incremental evaluator under every distance backend: the per-domain
+   replicas must copy and replay correctly whatever the storage layer
+   ([require_mutable] degrades the read-only oracles to dense — that
+   degradation path is part of what runs here). *)
+let prop_backends_agree =
+  QCheck.Test.make ~count:40 ~name:"speculative ≡ sequential across dist backends"
+    QCheck.(pair small_nat (int_range 0 3))
+    (fun (seed, backend_idx) ->
+      let spec = List.nth [ D.Dense; D.Tree; D.Rd; D.Mmap None ] backend_idx in
+      let saved = D.default_spec () in
+      D.set_default_spec spec;
+      Fun.protect
+        ~finally:(fun () -> D.set_default_spec saved)
+        (fun () ->
+          let a, b =
+            run_both ~evaluator:`Incremental ~rule_code:0 ~sched_code:(seed mod 2)
+              ~engine:(List.nth engines (seed mod 3))
+              (seed + 37)
+          in
+          outcomes_identical a b))
+
+(* Chaos: a hub instance under a tiny alpha — every agent wants edges
+   and most moves touch the same few rows, so commits keep invalidating
+   the rest of the batch.  The engine must burn conflicts and retries
+   (counters climb) yet still land byte-identical. *)
+let test_conflict_storm () =
+  let n = 14 in
+  let r = Prng.create 424242 in
+  let host =
+    Gncg.Host.make ~alpha:0.4
+      (Gncg_metric.Random_host.uniform_metric r ~n ~lo:1.0 ~hi:2.0)
+  in
+  (* Everyone starts on a path: the early adds reshape distances
+     globally, which is exactly what defeats row-local reuse. *)
+  let start =
+    Gncg.Strategy.of_lists n (List.init (n - 1) (fun i -> (i, [ i + 1 ])))
+  in
+  let go engine sched =
+    Dyn.run
+      (Dyn.Config.make ~max_steps:6000 ~evaluator:`Incremental ~engine
+         Dyn.Greedy_response sched)
+      host start
+  in
+  let conflicts = Metric.Counter.make "dynamics.speculative_conflicts" in
+  let retries = Metric.Counter.make "dynamics.speculative_retries" in
+  let speculations = Metric.Counter.make "dynamics.speculative_speculations" in
+  let was_enabled = Metric.enabled () in
+  Metric.set_enabled true;
+  let c0 = Metric.Counter.value conflicts and r0 = Metric.Counter.value retries in
+  let s0 = Metric.Counter.value speculations in
+  let seq = go Dyn.Engine.Sequential Dyn.Round_robin in
+  let spec =
+    go (Dyn.Engine.Speculative { exec = Exec.Par { domains = Some 3 }; batch = 8 })
+      Dyn.Round_robin
+  in
+  let dc = Metric.Counter.value conflicts - c0 in
+  let dr = Metric.Counter.value retries - r0 in
+  let ds = Metric.Counter.value speculations - s0 in
+  Metric.set_enabled was_enabled;
+  check_true "speculations happened" (ds > 0);
+  check_true "conflicts were detected" (dc > 0);
+  check_true "aborted speculations were retried" (dr >= dc);
+  check_true "identical outcome despite the storm" (outcomes_identical seq spec)
+
+(* Out_of_steps must also agree: cut the budget mid-flight so the batch
+   lookahead crosses the limit. *)
+let prop_out_of_steps_identical =
+  QCheck.Test.make ~count:30 ~name:"speculative ≡ sequential at the step budget"
+    QCheck.(pair small_nat (int_range 1 25))
+    (fun (seed, max_steps) ->
+      let a, b =
+        run_both ~max_steps ~evaluator:`Incremental ~rule_code:0 ~sched_code:1
+          ~engine:(List.nth engines (seed mod 3))
+          (seed + 91)
+      in
+      outcomes_identical a b)
+
+(* Improving-move cycles (Random_improving degrades to sequential inside
+   the engine, so use greedy dynamics on a cycle-prone construction): the
+   certificate profiles must match state for state. *)
+let test_cycle_outcomes_identical () =
+  (* Hunt a small cycle instance; if none shows up the test still
+     asserted equivalence on every attempt. *)
+  let tried = ref 0 and cycles = ref 0 in
+  for seed = 1 to 30 do
+    let host, start = random_game (900 + seed) ~n:6 in
+    let go engine =
+      Dyn.run
+        (Dyn.Config.make ~max_steps:800 ~evaluator:`Incremental ~engine
+           Dyn.Greedy_response Dyn.Round_robin)
+        host start
+    in
+    incr tried;
+    let a = go Dyn.Engine.Sequential in
+    let b = go (Dyn.Engine.Speculative { exec = Exec.Seq; batch = 5 }) in
+    check_true "cycle/convergence identical" (outcomes_identical a b);
+    match a with Dyn.Cycle _ -> incr cycles | _ -> ()
+  done;
+  check_true "ran" (!tried = 30)
+
+(* --- Engine / Config surface ----------------------------------------- *)
+
+let test_engine_strings () =
+  let ok s e =
+    Alcotest.(check bool) ("parse " ^ s) true (Dyn.Engine.of_string s = Ok e)
+  in
+  ok "sequential" Dyn.Engine.Sequential;
+  ok "seq" Dyn.Engine.Sequential;
+  ok "speculative" (Dyn.Engine.Speculative { exec = Exec.default; batch = 0 });
+  ok "speculative:4" (Dyn.Engine.Speculative { exec = Exec.Par { domains = Some 4 }; batch = 0 });
+  ok "speculative:seq" (Dyn.Engine.Speculative { exec = Exec.Seq; batch = 0 });
+  ok "speculative:seq:batch=9" (Dyn.Engine.Speculative { exec = Exec.Seq; batch = 9 });
+  ok "speculative:2:batch=16"
+    (Dyn.Engine.Speculative { exec = Exec.Par { domains = Some 2 }; batch = 16 });
+  let bad s =
+    check_true (s ^ " rejected")
+      (match Dyn.Engine.of_string s with Error _ -> true | Ok _ -> false)
+  in
+  bad "parallel";
+  bad "speculative:0";
+  bad "speculative:seq:batch=0";
+  bad "speculative:2:batch=x";
+  bad "speculative:2:3";
+  List.iter
+    (fun e ->
+      check_true
+        ("roundtrip " ^ Dyn.Engine.to_string e)
+        (Dyn.Engine.of_string (Dyn.Engine.to_string e) = Ok e))
+    [
+      Dyn.Engine.Sequential;
+      Dyn.Engine.speculative ();
+      Dyn.Engine.speculative ~exec:Exec.Seq ();
+      Dyn.Engine.speculative ~exec:(Exec.Par { domains = Some 5 }) ~batch:12 ();
+    ]
+
+let test_engine_batch_resolution () =
+  Alcotest.(check int) "explicit batch wins" 9
+    (Dyn.Engine.resolve_batch ~exec:Exec.Seq 9);
+  Alcotest.(check int) "auto batch = 4 x domains" 4
+    (Dyn.Engine.resolve_batch ~exec:Exec.Seq 0);
+  Alcotest.(check int) "auto batch scales with domains" 12
+    (Dyn.Engine.resolve_batch ~exec:(Exec.Par { domains = Some 3 }) (-1))
+
+let test_config_defaults () =
+  let cfg = Dyn.Config.make Dyn.Greedy_response Dyn.Round_robin in
+  Alcotest.(check int) "default max_steps" 10_000 cfg.Dyn.Config.max_steps;
+  check_true "default evaluator" (cfg.Dyn.Config.evaluator = `Reference);
+  check_true "default engine" (cfg.Dyn.Config.engine = Dyn.Engine.Sequential);
+  check_true "no metrics record" (cfg.Dyn.Config.metrics = None)
+
+(* The metrics record is main-thread state: the speculative engine must
+   still fill it (moves identical; evaluations may exceed the sequential
+   count by the aborted speculations). *)
+let test_metrics_record_filled () =
+  let host, start = random_game 5151 ~n:8 in
+  let run engine =
+    let metrics = { Dyn.evaluations = 0; moves = 0; skips = 0 } in
+    let outcome =
+      Dyn.run
+        (Dyn.Config.make ~max_steps:3000 ~evaluator:`Incremental ~engine ~metrics
+           Dyn.Greedy_response Dyn.Round_robin)
+        host start
+    in
+    (outcome, metrics)
+  in
+  let seq_out, seq_m = run Dyn.Engine.Sequential in
+  let spec_out, spec_m = run (Dyn.Engine.speculative ~exec:Exec.Seq ~batch:4 ()) in
+  check_true "outcomes identical" (outcomes_identical seq_out spec_out);
+  Alcotest.(check int) "moves identical" seq_m.Dyn.moves spec_m.Dyn.moves;
+  Alcotest.(check int) "skips identical" seq_m.Dyn.skips spec_m.Dyn.skips;
+  check_true "speculative evaluations >= sequential"
+    (spec_m.Dyn.evaluations >= seq_m.Dyn.evaluations)
+
+(* --- deviation degradation counter ----------------------------------- *)
+
+let test_deviation_degradation_counter () =
+  let host, s = random_game 777 ~n:6 in
+  let c = Metric.Counter.make "dynamics.evaluator_degradations" in
+  let was_enabled = Metric.enabled () in
+  Metric.set_enabled true;
+  let v0 = Metric.Counter.value c in
+  let inc = Dyn.deviation ~evaluator:`Incremental Dyn.Greedy_response host s 0 in
+  let after_incremental = Metric.Counter.value c in
+  let st = Dyn.deviation ~evaluator:`Stateless Dyn.Greedy_response host s 0 in
+  let fast = Dyn.deviation ~evaluator:`Fast Dyn.Greedy_response host s 0 in
+  let after_explicit = Metric.Counter.value c in
+  Metric.set_enabled was_enabled;
+  Alcotest.(check int) "`Incremental degradation counted" (v0 + 1) after_incremental;
+  Alcotest.(check int) "`Stateless / `Fast are not degradations" after_incremental
+    after_explicit;
+  check_true "degraded result = explicit stateless result"
+    (match (inc, st, fast) with
+    | None, None, None -> true
+    | Some (s1, g1), Some (s2, g2), Some (s3, g3) ->
+      Gncg.Strategy.equal s1 s2 && Gncg.Strategy.equal s2 s3
+      && Float.equal g1 g2 && Float.equal g2 g3
+    | _ -> false)
+
+let test_stateless_evaluator_runs () =
+  let host, start = random_game 991 ~n:7 in
+  let go evaluator =
+    Dyn.run
+      (Dyn.Config.make ~max_steps:3000 ~evaluator Dyn.Greedy_response Dyn.Round_robin)
+      host start
+  in
+  check_true "`Stateless ≡ `Fast end to end"
+    (outcomes_identical (go `Stateless) (go `Fast));
+  check_true "evaluator strings roundtrip"
+    (List.for_all
+       (fun e -> Gncg.Evaluator.of_string (Gncg.Evaluator.to_string e) = Ok e)
+       Gncg.Evaluator.all)
+
+let suites =
+  [
+    ( "speculative-dynamics",
+      [
+        Alcotest.test_case "conflict storm converges identically" `Quick
+          test_conflict_storm;
+        Alcotest.test_case "cycle certificates identical" `Quick
+          test_cycle_outcomes_identical;
+        Alcotest.test_case "engine of_string/to_string" `Quick test_engine_strings;
+        Alcotest.test_case "engine batch resolution" `Quick test_engine_batch_resolution;
+        Alcotest.test_case "config defaults" `Quick test_config_defaults;
+        Alcotest.test_case "metrics record under speculation" `Quick
+          test_metrics_record_filled;
+        Alcotest.test_case "deviation degradation counter" `Quick
+          test_deviation_degradation_counter;
+        Alcotest.test_case "stateless evaluator" `Quick test_stateless_evaluator_runs;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest
+          [
+            prop_speculative_equals_sequential;
+            prop_backends_agree;
+            prop_out_of_steps_identical;
+          ] );
+  ]
