@@ -259,6 +259,113 @@ let validate_bench9_json path doc =
      %!"
     path (List.length results) normalized speedup cores
 
+(* gncg-bench-10 is the worker-pool serve-throughput shape (see
+   bench10.ml): the bench7 fleet replayed against workers ∈ {0, 1, 4}.
+   Beyond per-row well-formedness (the bench7 invariants, per row) the
+   validator enforces the point of the artifact — the pool must have
+   actually run (serve.pool.spawns ticked, pool objects on the
+   workers>0 rows, breaker closed throughout), and on hardware that can
+   show it (full artifact, >= 4 cores) the workers=4 fleet p99 must
+   beat the committed BENCH_7 in-process baseline. *)
+let validate_bench10_json path doc =
+  let ( let* ) r f = match r with Ok v -> f v | Error e -> fail "%s: %s" path e in
+  let module J = Gncg_runs.Json in
+  let* full = Result.bind (J.member "full" doc) J.get_bool in
+  let* cores = Result.bind (J.member "cores" doc) J.get_int in
+  if cores < 1 then fail "%s: cores must be >= 1" path;
+  let* clients = Result.bind (J.member "clients" doc) J.get_int in
+  if clients < 8 then fail "%s: serve bench needs >= 8 concurrent clients, got %d" path clients;
+  let* base_p99 = Result.bind (J.member "bench7_p99_ns" doc) J.get_float in
+  if not (base_p99 > 0.0) then fail "%s: bench7_p99_ns must be positive" path;
+  let* ratio = Result.bind (J.member "p99_workers4_vs_bench7" doc) J.get_float in
+  let* rows = Result.bind (J.member "rows" doc) J.get_list in
+  if rows = [] then fail "%s: empty rows" path;
+  let seen = ref [] in
+  let p99_w4 = ref None in
+  List.iter
+    (fun row ->
+      let* workers = Result.bind (J.member "workers" row) J.get_int in
+      if workers < 0 then fail "%s: negative workers" path;
+      if List.mem workers !seen then fail "%s: duplicate workers=%d row" path workers;
+      seen := workers :: !seen;
+      let* requests = Result.bind (J.member "requests" row) J.get_int in
+      let* rps = Result.bind (J.member "requests_per_s" row) J.get_float in
+      if requests <= 0 then fail "%s: workers=%d has no requests" path workers;
+      if Float.is_nan rps || rps <= 0.0 then
+        fail "%s: workers=%d has invalid requests_per_s" path workers;
+      let* latency = J.member "latency_ns" row in
+      let quantile name = Result.bind (J.member name latency) J.get_float in
+      let* p50 = quantile "p50" in
+      let* p90 = quantile "p90" in
+      let* p99 = quantile "p99" in
+      let* max_ns = quantile "max" in
+      List.iter
+        (fun (name, v) ->
+          if Float.is_nan v || v <= 0.0 then
+            fail "%s: workers=%d invalid latency %s" path workers name)
+        [ ("p50", p50); ("p90", p90); ("p99", p99); ("max", max_ns) ];
+      if not (p50 <= p90 && p90 <= p99 && p99 <= max_ns) then
+        fail "%s: workers=%d latency quantiles out of order" path workers;
+      if workers = 4 then p99_w4 := Some p99;
+      let* results = Result.bind (J.member "results" row) J.get_list in
+      let counted =
+        List.fold_left
+          (fun acc r ->
+            let* op = Result.bind (J.member "op" r) J.get_string in
+            let* count = Result.bind (J.member "count" r) J.get_int in
+            let* ns = Result.bind (J.member "ns_per_op" r) J.get_float in
+            if count <= 0 then fail "%s: workers=%d %s has non-positive count" path workers op;
+            if Float.is_nan ns || ns <= 0.0 then
+              fail "%s: workers=%d %s has invalid ns_per_op" path workers op;
+            acc + count)
+          0 results
+      in
+      if counted <> requests then
+        fail "%s: workers=%d per-op counts sum to %d but requests is %d" path workers
+          counted requests;
+      let* pool = J.member "pool" row in
+      match (workers, pool) with
+      | 0, J.Null -> ()
+      | 0, _ -> fail "%s: workers=0 row must not report a pool" path
+      | _, J.Null -> fail "%s: workers=%d row is missing its pool status" path workers
+      | _, pool ->
+        let* restarts = Result.bind (J.member "restarts" pool) J.get_int in
+        let* breaker = Result.bind (J.member "breaker_open" pool) J.get_bool in
+        if restarts < 0 then fail "%s: workers=%d negative restarts" path workers;
+        (* A healthy bench run injects no faults: a tripped breaker means
+           the fleet died under plain load. *)
+        if breaker then fail "%s: workers=%d tripped the breaker under load" path workers)
+    rows;
+  List.iter
+    (fun w ->
+      if not (List.mem w !seen) then fail "%s: missing the workers=%d row" path w)
+    [ 0; 1; 4 ];
+  (match !p99_w4 with
+  | None -> fail "%s: missing the workers=4 row" path
+  | Some p99 ->
+    if not (Gncg_util.Flt.approx_eq ~tol:0.05 ratio (p99 /. base_p99)) then
+      fail "%s: p99_workers4_vs_bench7 inconsistent with the workers=4 row" path;
+    (* The tail-latency bar binds only where process parallelism is
+       physically available and the artifact is a full run; a 1-core
+       container records cores=1 and the figure is informative. *)
+    if full && cores >= 4 && ratio >= 1.0 then
+      fail "%s: workers=4 p99 %.2fx vs BENCH_7 at %d cores (bar: < 1x)" path ratio cores);
+  let* counters = J.member "counters" doc in
+  let keys =
+    match counters with
+    | J.Obj fields -> List.map fst fields
+    | _ -> fail "%s: counters must be an object" path
+  in
+  if not (List.exists (fun k -> String.starts_with ~prefix:"serve.pool." k) keys) then
+    fail "%s: counters missing serve.pool.*" path;
+  (match Result.bind (J.member "serve.pool.spawns" counters) J.get_int with
+  | Ok v when v > 0 -> ()
+  | Ok _ -> fail "%s: serve.pool.spawns is zero — the pool never ran" path
+  | Error _ -> fail "%s: counters missing serve.pool.spawns" path);
+  Printf.printf
+    "bench-smoke: %s valid (%d rows, workers=4 p99 %.3fx vs BENCH_7 @ %d cores)\n%!"
+    path (List.length rows) ratio cores
+
 let validate_bench_json path =
   let ( let* ) r f = match r with Ok v -> f v | Error e -> fail "%s: %s" path e in
   let text =
@@ -274,10 +381,12 @@ let validate_bench_json path =
   if
     schema <> "gncg-bench-3" && schema <> "gncg-bench-4" && schema <> "gncg-bench-7"
     && schema <> "gncg-bench-8" && schema <> "gncg-bench-9"
+    && schema <> "gncg-bench-10"
   then fail "%s: unexpected schema %S" path schema;
   if schema = "gncg-bench-7" then validate_bench7_json path doc
   else if schema = "gncg-bench-8" then validate_bench8_json path doc
   else if schema = "gncg-bench-9" then validate_bench9_json path doc
+  else if schema = "gncg-bench-10" then validate_bench10_json path doc
   else begin
   if schema = "gncg-bench-4" then begin
     (* The instrumented pass must have ticked at least one probe in each

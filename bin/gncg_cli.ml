@@ -650,16 +650,20 @@ let state_dir_arg =
              "directory for the daemon's sweep journals; restarting on the same \
               directory resumes interrupted sweeps instead of recomputing them")
 
-let serve socket state_dir stdio trace_stream budget retries common =
+let serve socket state_dir stdio trace_stream budget retries workers common =
   let exec = Common.setup ~verb:"serve" ~accepts:Common.all common in
   let domains = Gncg_util.Exec.domain_count exec in
+  (* Workers are this very binary re-executed as [gncg worker], so a
+     deployed daemon and its fleet can never skew versions. *)
+  let pool_spawn = Gncg_serve.Pool.spawn_exec [| Sys.executable_name; "worker" |] in
   let session =
-    Gncg_serve.Session.create ~state_dir ~domains ?budget ~retries ~trace_stream ()
+    Gncg_serve.Session.create ~state_dir ~domains ?budget ~retries ~trace_stream
+      ~workers ~pool_spawn ()
   in
   if stdio then Gncg_serve.Server.serve_stdio session stdin stdout
   else begin
-    Printf.eprintf "gncg serve: listening on %s (state dir %s, %d domains)\n%!" socket
-      state_dir domains;
+    Printf.eprintf "gncg serve: listening on %s (state dir %s, %d domains, %d workers)\n%!"
+      socket state_dir domains workers;
     Gncg_serve.Server.serve_unix session ~path:socket;
     Printf.eprintf "gncg serve: drained, bye\n%!"
   end
@@ -679,6 +683,17 @@ let trace_stream_flag =
               stream, for clients watching with --trace (mutually exclusive with \
               --trace FILE: the stream sink replaces the file sink)")
 
+let workers_arg =
+  Arg.(value
+       & opt int 0
+       & info [ "workers" ] ~docv:"N"
+           ~doc:
+             "dispatch jobs to $(docv) supervised worker processes instead of \
+              executing in the daemon: crash isolation (a kill -9'd worker costs a \
+              requeue, not the daemon), per-job wall-clock enforcement by SIGKILL, \
+              and query parallelism across processes; 0 (the default) keeps the \
+              single in-process executor")
+
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
@@ -686,7 +701,54 @@ let serve_cmd =
          "run the experiment daemon: submit/watch/cancel jobs over a Unix-domain \
           socket; sweeps are journaled under --state-dir and survive kill-and-restart")
     Term.(const serve $ socket_arg $ state_dir_arg $ stdio_flag $ trace_stream_flag
-          $ budget_arg $ retries_arg $ Common.term)
+          $ budget_arg $ retries_arg $ workers_arg $ Common.term)
+
+(* The worker side of `gncg serve --workers N`: one supervised executor
+   speaking the worker sub-protocol on stdin/stdout.  Never started by
+   hand — documented for completeness and debuggability.  The
+   --chaos-* flags inject deterministic process faults (self-SIGKILL,
+   stall, protocol garbage) so the supervisor's detection paths can be
+   exercised from outside the process: OCaml 5 forbids [Unix.fork] once
+   domains are running, so chaos tests spawn this executable instead of
+   forking a closure. *)
+let chaos_arg name docv doc = Arg.(value & opt float 0.0 & info [ name ] ~docv ~doc)
+
+let worker_cmd =
+  let run kill_p hang_p hang_s garbage_p fault_attempts seed common =
+    let (_ : Gncg_util.Exec.t) = Common.setup ~verb:"worker" ~accepts:[] common in
+    let chaos =
+      if kill_p > 0.0 || hang_p > 0.0 || garbage_p > 0.0 then
+        Some
+          (Gncg_runs.Chaos.process_plan ~kill_p ~hang_p ~hang_s ~garbage_p
+             ~fault_attempts ~seed ())
+      else None
+    in
+    Gncg_serve.Worker.main ?chaos stdin stdout
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "run one pool worker over stdin/stdout (spawned by gncg serve --workers; \
+          not meant to be started by hand)")
+    Term.(const run
+          $ chaos_arg "chaos-kill-p" "P"
+              "probability the worker SIGKILLs itself instead of running a job \
+               (deterministic per job key and attempt; fault injection for tests)"
+          $ chaos_arg "chaos-hang-p" "P"
+              "probability the worker stalls before running a job"
+          $ Arg.(value & opt float 5.0
+                 & info [ "chaos-hang-s" ] ~docv:"S" ~doc:"stall duration in seconds")
+          $ chaos_arg "chaos-garbage-p" "P"
+              "probability the worker writes one line of protocol garbage before a \
+               result"
+          $ Arg.(value & opt int 1
+                 & info [ "chaos-fault-attempts" ] ~docv:"N"
+                     ~doc:
+                       "attempts eligible for faults: attempts above $(docv) never \
+                        fault, so requeued jobs can be scripted to succeed")
+          $ Arg.(value & opt int 0
+                 & info [ "chaos-seed" ] ~docv:"SEED" ~doc:"fault oracle seed")
+          $ Common.term)
 
 (* Client verbs.  Diagnostics and progress go to stderr; stdout carries
    only the payload (CSV, JSON) so pipes compose. *)
@@ -920,5 +982,5 @@ let () =
        (Cmd.group (Cmd.info "gncg" ~doc)
           [
             sweep_cmd; construct_cmd; cycles_cmd; br_cmd; stats_cmd; check_cmd;
-            serve_cmd; client_cmd;
+            serve_cmd; worker_cmd; client_cmd;
           ]))

@@ -602,10 +602,3 @@ let run cfg host start =
            stream: degrade to the sequential engine (documented). *)
         go start 0
       | Engine.Speculative { exec; batch } -> run_speculative exec batch)
-
-(* BEGIN deprecated dynamics run aliases *)
-
-let run_legacy ?max_steps ?evaluator ?metrics ~rule ~scheduler host start =
-  run (Config.make ?max_steps ?evaluator ?metrics rule scheduler) host start
-
-(* END deprecated dynamics run aliases *)

@@ -160,20 +160,3 @@ val deviation :
     only exists inside [run]) and the degradation is counted on the
     [dynamics.evaluator_degradations] counter — pass [`Stateless] to opt
     in explicitly. *)
-
-(* BEGIN deprecated dynamics run aliases *)
-
-val run_legacy :
-  ?max_steps:int ->
-  ?evaluator:Evaluator.t ->
-  ?metrics:metrics ->
-  rule:rule ->
-  scheduler:scheduler ->
-  Host.t ->
-  Strategy.t ->
-  outcome
-[@@ocaml.deprecated "Use Dynamics.run with a Dynamics.Config.t (see README migration table)."]
-(** The pre-Config [run] signature, kept for one release as a one-line
-    shim.  [Sequential] engine only. *)
-
-(* END deprecated dynamics run aliases *)

@@ -28,16 +28,18 @@ let plan ?(crash_p = 0.) ?(delay_p = 0.) ?(delay_s = 0.05) ?(corrupt_p = 0.)
 (* FNV-1a over "seed;key;attempt", folded to a uniform draw in [0,1).
    Purely functional: the same (plan, key, attempt) always draws the same
    number, on every domain, in every process. *)
-let draw plan ~key ~attempt =
+let draw_u ~salt ~seed ~key ~attempt =
   let fnv_offset = 0xcbf29ce484222325L and fnv_prime = 0x100000001b3L in
   let h = ref fnv_offset in
   String.iter
     (fun c ->
       h := Int64.logxor !h (Int64.of_int (Char.code c));
       h := Int64.mul !h fnv_prime)
-    (Printf.sprintf "%d;%s;%d" plan.seed key attempt);
+    (Printf.sprintf "%s%d;%s;%d" salt seed key attempt);
   (* Top 53 bits -> [0,1). *)
   Int64.to_float (Int64.shift_right_logical !h 11) /. 9007199254740992.0
+
+let draw plan ~key ~attempt = draw_u ~salt:"" ~seed:plan.seed ~key ~attempt
 
 let decide plan ~key ~attempt =
   if attempt > plan.fault_attempts then None
@@ -73,6 +75,40 @@ let wrap plan ~key ?(corrupt = fun r -> r) exec =
       exec job
     | Some Corrupt_result -> corrupt (exec job)
     | None -> exec job
+
+(* --- process-level faults ------------------------------------------------ *)
+
+type process_fault =
+  | Kill
+  | Hang of float
+  | Garbage
+
+type process_plan = {
+  pseed : int;
+  kill_p : float;
+  hang_p : float;
+  hang_s : float;
+  garbage_p : float;
+  pfault_attempts : int;
+}
+
+let process_plan ?(kill_p = 0.) ?(hang_p = 0.) ?(hang_s = 5.0) ?(garbage_p = 0.)
+    ?(fault_attempts = 1) ~seed () =
+  if kill_p < 0. || hang_p < 0. || garbage_p < 0. then
+    invalid_arg "Chaos.process_plan: negative probability";
+  { pseed = seed; kill_p; hang_p; hang_s; garbage_p; pfault_attempts = fault_attempts }
+
+(* Salted differently from [decide] so a seed shared between an
+   in-process plan and a process plan does not correlate their faults. *)
+let decide_process plan ~key ~attempt =
+  if attempt > plan.pfault_attempts then None
+  else begin
+    let u = draw_u ~salt:"proc;" ~seed:plan.pseed ~key ~attempt in
+    if u < plan.kill_p then Some Kill
+    else if u < plan.kill_p +. plan.hang_p then Some (Hang plan.hang_s)
+    else if u < plan.kill_p +. plan.hang_p +. plan.garbage_p then Some Garbage
+    else None
+  end
 
 (* --- journal corruption ------------------------------------------------- *)
 

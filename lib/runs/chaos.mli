@@ -71,6 +71,56 @@ val wrap :
     is therefore stateful and must be fresh per batch.  [corrupt]
     defaults to the identity, making [Corrupt_result] a no-op. *)
 
+(** {1 Process-level faults}
+
+    The serve worker pool supervises whole worker {e processes}; its
+    fault surface is bigger than an exception — a worker can vanish
+    (SIGKILL, OOM-kill), wedge without dying, or write noise on the
+    protocol channel.  [process_plan]/[decide_process] are the same
+    deterministic oracle shape as {!plan}/{!decide} for exactly those
+    faults; {!Gncg_serve.Worker.main} consumes the decisions (self-kill,
+    stall, garbage line) so the supervisor's detection paths — pipe EOF
+    + waitpid, liveness/budget deadlines, protocol resync — are
+    exercised reproducibly. *)
+
+type process_fault =
+  | Kill  (** the worker SIGKILLs itself before touching the job *)
+  | Hang of float
+      (** the worker stalls this many seconds before executing — long
+          enough and the supervisor's deadline kills it *)
+  | Garbage
+      (** the worker emits one line of non-JSON noise on its protocol
+          channel before the real result *)
+
+type process_plan = {
+  pseed : int;
+  kill_p : float;
+  hang_p : float;
+  hang_s : float;
+  garbage_p : float;
+  pfault_attempts : int;
+      (** like [fault_attempts]: attempts [<= pfault_attempts] are
+          eligible, so a killed job can be scripted to succeed when the
+          supervisor requeues it *)
+}
+
+val process_plan :
+  ?kill_p:float ->
+  ?hang_p:float ->
+  ?hang_s:float ->
+  ?garbage_p:float ->
+  ?fault_attempts:int ->
+  seed:int ->
+  unit ->
+  process_plan
+(** Probabilities default to [0.]; [hang_s] to [5.0]; [fault_attempts]
+    to [1]. *)
+
+val decide_process : process_plan -> key:string -> attempt:int -> process_fault option
+(** Pure, like {!decide}, but salted differently so sharing a seed with
+    an in-process plan does not correlate the two fault streams.
+    [Kill] shadows [Hang] shadows [Garbage]. *)
+
 (** {1 Journal corruption}
 
     Each injector rewrites the file in place, simulating a specific

@@ -20,6 +20,15 @@ let outcome_label = function
 
 type crash = { msg : string; backtrace : string }
 
+exception Over_budget
+exception Crash_report of crash
+
+let () =
+  Printexc.register_printer (function
+    | Over_budget -> Some "Scheduler.Over_budget"
+    | Crash_report { msg; _ } -> Some (Printf.sprintf "Scheduler.Crash_report(%s)" msg)
+    | _ -> None)
+
 type 'r outcome =
   | Completed of 'r
   | Diverged of 'r
@@ -77,6 +86,18 @@ let attempt ~budget ~retries ~diverged exec job =
         else Completed result
       in
       { outcome; attempts = attempt_no; elapsed }
+    | exception Over_budget ->
+      (* The executor enforced the budget itself (a supervisor that
+         SIGKILLed a worker process on overrun): record [Timeout]
+         without retrying, exactly as the post-hoc path would. *)
+      { outcome = Timeout; attempts = attempt_no; elapsed = Unix.gettimeofday () -. t0 }
+    | exception Crash_report c ->
+      (* The executor already classified the crash (e.g. the exception
+         was raised in a worker process and shipped back with its own
+         frames): keep that record instead of the supervisor-side one. *)
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if attempt_no <= retries then go (attempt_no + 1)
+      else { outcome = Crashed c; attempts = attempt_no; elapsed }
     | exception e ->
       (* Grab the backtrace before any further call can clobber it; it is
          empty unless [Printexc.record_backtrace] is on (the CLI enables

@@ -27,6 +27,20 @@ type crash = {
           [OCAMLRUNPARAM=b]; the CLI enables it at startup). *)
 }
 
+exception Over_budget
+(** Escape hatch for executors that enforce the wall-clock budget
+    {e preemptively} instead of post-hoc — the serve worker pool SIGKILLs
+    a worker process on overrun and raises this.  {!run} records
+    [Timeout] for the job (no retry, matching the post-hoc rule that
+    deterministic jobs are not re-run into the same wall). *)
+
+exception Crash_report of crash
+(** Escape hatch for executors that already hold a classified crash —
+    e.g. an exception raised inside a worker process, whose message and
+    frames were shipped back over the wire.  {!run} retries as for any
+    crash and, once retries are exhausted, records exactly the carried
+    {!crash} instead of re-deriving one from the supervisor's stack. *)
+
 type 'r outcome =
   | Completed of 'r
   | Diverged of 'r

@@ -346,6 +346,128 @@ let response_of_line line =
   let* j = lift (Json.parse line) in
   response_of_json j
 
+(* --- the worker sub-protocol -------------------------------------------- *)
+
+(* Spoken between the pool supervisor and its forked worker processes
+   over the workers' stdin/stdout: same versioned line-JSON codec, its
+   own op namespace ("wop") so a worker line can never be mistaken for a
+   client line. *)
+module Worker_wire = struct
+  type payload =
+    | Spec of Job.spec
+    | Query of job
+
+  type req =
+    | Run of { rid : int; attempt : int; payload : payload }
+    | Quit
+
+  type outcome =
+    | Run_result of Gncg_workload.Sweep.run
+    | Query_result of Json.t
+    | Job_error of { msg : string; backtrace : string }
+
+  type msg =
+    | Hello of { pid : int }
+    | Heartbeat
+    | Result of { rid : int; outcome : outcome }
+
+  let payload_key = function
+    | Spec s -> Job.hash s
+    | Query j -> job_key j
+
+  let req_to_json = function
+    | Run { rid; attempt; payload } ->
+      let p =
+        match payload with
+        | Spec s -> [ ("payload", Json.Str "spec"); ("spec", Job.to_json s) ]
+        | Query j -> [ ("payload", Json.Str "job"); ("job", job_to_json j) ]
+      in
+      versioned
+        (("wop", Json.Str "run")
+        :: ("rid", Json.num_int rid)
+        :: ("attempt", Json.num_int attempt)
+        :: p)
+    | Quit -> versioned [ ("wop", Json.Str "quit") ]
+
+  let req_of_json j =
+    let* () = check_version j in
+    let* wop = Result.bind (mem "wop" j) str in
+    match wop with
+    | "run" ->
+      let* rid = Result.bind (mem "rid" j) int in
+      let* attempt = Result.bind (mem "attempt" j) int in
+      let* payload =
+        let* kind = Result.bind (mem "payload" j) str in
+        match kind with
+        | "spec" ->
+          let* sj = mem "spec" j in
+          Result.map
+            (fun s -> Spec s)
+            (Result.map_error (fun m -> E.v ~context:ctx Parse m) (Job.of_json sj))
+        | "job" -> Result.map (fun jb -> Query jb) (Result.bind (mem "job" j) job_of_json)
+        | k -> perr "unknown worker payload kind %S (spec | job)" k
+      in
+      Ok (Run { rid; attempt; payload })
+    | "quit" -> Ok Quit
+    | op -> perr "unknown worker op %S" op
+
+  let req_of_line line =
+    let* j = lift (Json.parse line) in
+    req_of_json j
+
+  let msg_to_json = function
+    | Hello { pid } -> versioned [ ("wop", Json.Str "hello"); ("pid", Json.num_int pid) ]
+    | Heartbeat -> versioned [ ("wop", Json.Str "heartbeat") ]
+    | Result { rid; outcome } ->
+      let o =
+        match outcome with
+        | Run_result r ->
+          [ ("status", Json.Str "run"); ("run", Gncg_runs.Journal.run_to_json r) ]
+        | Query_result d -> [ ("status", Json.Str "data"); ("data", d) ]
+        | Job_error { msg; backtrace } ->
+          [
+            ("status", Json.Str "error");
+            ("msg", Json.Str msg);
+            ("backtrace", Json.Str backtrace);
+          ]
+      in
+      versioned (("wop", Json.Str "result") :: ("rid", Json.num_int rid) :: o)
+
+  let msg_of_json j =
+    let* () = check_version j in
+    let* wop = Result.bind (mem "wop" j) str in
+    match wop with
+    | "hello" ->
+      let* pid = Result.bind (mem "pid" j) int in
+      Ok (Hello { pid })
+    | "heartbeat" -> Ok Heartbeat
+    | "result" ->
+      let* rid = Result.bind (mem "rid" j) int in
+      let* status = Result.bind (mem "status" j) str in
+      let* outcome =
+        match status with
+        | "run" ->
+          let* rj = mem "run" j in
+          Result.map
+            (fun r -> Run_result r)
+            (Result.map_error
+               (fun m -> E.v ~context:ctx Parse m)
+               (Gncg_runs.Journal.run_of_json rj))
+        | "data" -> Result.map (fun d -> Query_result d) (mem "data" j)
+        | "error" ->
+          let* msg = Result.bind (mem "msg" j) str in
+          let* backtrace = Result.bind (mem "backtrace" j) str in
+          Ok (Job_error { msg; backtrace })
+        | s -> perr "unknown worker result status %S (run | data | error)" s
+      in
+      Ok (Result { rid; outcome })
+    | op -> perr "unknown worker message %S" op
+
+  let msg_of_line line =
+    let* j = lift (Json.parse line) in
+    msg_of_json j
+end
+
 (* --- job states -------------------------------------------------------- *)
 
 type job_state = Queued | Running | Done | Failed of string | Cancelled

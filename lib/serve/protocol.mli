@@ -114,6 +114,61 @@ val response_to_json : response -> Json.t
 val response_of_json : Json.t -> (response, Gncg_util.Gncg_error.t) result
 val response_of_line : string -> (response, Gncg_util.Gncg_error.t) result
 
+(** {1 The worker sub-protocol}
+
+    Spoken between the {!Pool} supervisor and its worker processes over
+    the workers' stdin/stdout: the same versioned line-JSON codec, in
+    its own op namespace ([wop]).  Requests flow supervisor → worker;
+    messages flow worker → supervisor.
+
+    {v
+    request   {"v":1,"wop":"run","rid":7,"attempt":1,"payload":"spec","spec":{...}}
+    hello     {"v":1,"wop":"hello","pid":12345}
+    heartbeat {"v":1,"wop":"heartbeat"}
+    result    {"v":1,"wop":"result","rid":7,"status":"run","run":{...}}
+    v} *)
+
+module Worker_wire : sig
+  type payload =
+    | Spec of Gncg_runs.Job.spec
+        (** one sweep point; the supervisor journals the classified
+            result itself, so durability never depends on a worker *)
+    | Query of job
+        (** a whole query job ([Eq_check] / [Best_response]); the worker
+            answers with the event payload the session would publish *)
+
+  type req =
+    | Run of { rid : int; attempt : int; payload : payload }
+        (** [rid] matches results to dispatches; [attempt] is the
+            supervisor-tracked per-key dispatch count, which the chaos
+            fault oracle keys on so faults survive worker restarts *)
+    | Quit
+
+  type outcome =
+    | Run_result of Gncg_workload.Sweep.run
+    | Query_result of Json.t
+    | Job_error of { msg : string; backtrace : string }
+        (** the job raised inside the worker; message and frames are
+            shipped back so the supervisor re-raises with the worker-side
+            record ({!Gncg_runs.Scheduler.Crash_report}) *)
+
+  type msg =
+    | Hello of { pid : int }
+    | Heartbeat
+    | Result of { rid : int; outcome : outcome }
+
+  val payload_key : payload -> string
+  (** The content key faults and dedup are tracked by:
+      {!Gncg_runs.Job.hash} for specs, {!job_key} for queries. *)
+
+  val req_to_json : req -> Json.t
+  val req_of_json : Json.t -> (req, Gncg_util.Gncg_error.t) result
+  val req_of_line : string -> (req, Gncg_util.Gncg_error.t) result
+  val msg_to_json : msg -> Json.t
+  val msg_of_json : Json.t -> (msg, Gncg_util.Gncg_error.t) result
+  val msg_of_line : string -> (msg, Gncg_util.Gncg_error.t) result
+end
+
 (** {1 Job states} *)
 
 type job_state =

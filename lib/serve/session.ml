@@ -1,4 +1,5 @@
 module P = Protocol
+module W = Protocol.Worker_wire
 module Json = Gncg_runs.Json
 module Job = Gncg_runs.Job
 module Batch = Gncg_runs.Batch
@@ -10,15 +11,14 @@ module Span = Gncg_obs.Span
 
 let ctx = "Serve.Session"
 
-(* serve.* counters: daemon-side pressure and cache effectiveness. *)
+(* serve.* counters: daemon-side pressure.  The host-cache counters live
+   with the cache in {!Worker}. *)
 let c_submitted = Metric.Counter.make "serve.jobs_submitted"
 let c_attached = Metric.Counter.make "serve.jobs_attached"
 let c_completed = Metric.Counter.make "serve.jobs_completed"
 let c_failed = Metric.Counter.make "serve.jobs_failed"
 let c_cancelled = Metric.Counter.make "serve.jobs_cancelled"
 let c_events = Metric.Counter.make "serve.events"
-let c_cache_hits = Metric.Counter.make "serve.host_cache_hits"
-let c_cache_misses = Metric.Counter.make "serve.host_cache_misses"
 let c_sweep_results = Metric.Counter.make "serve.sweep_results"
 
 type jrec = {
@@ -26,6 +26,8 @@ type jrec = {
   key : string;
   job : P.job;
   mutable state : P.job_state;
+  mutable crash : Scheduler.crash option;
+      (* worker-side message and frames when the job died in a worker *)
   mutable events : P.event list;  (* newest first *)
   mutable n_events : int;
   mutable csv : string option;
@@ -40,15 +42,17 @@ type t = {
   retries : int option;
   trace_stream : bool;
   exec_seam : (Job.spec -> Gncg_workload.Sweep.run) option;
+  pool : Pool.t option;
   jobs : (string, jrec) Hashtbl.t;
   by_key : (string, string) Hashtbl.t;
   queue : string Queue.t;
-  hosts : (string, Gncg.Host.t * Gncg.Strategy.t) Hashtbl.t;
+  cache : Worker.Cache.t;
   mutable next_id : int;
-  mutable running : string option;
+  mutable running : string list;
+  mutable live_executors : int;
   mutable draining : bool;
   mutable stopped : bool;
-  mutable executor : Thread.t option;
+  mutable executors : Thread.t list;
   started_at : float;
 }
 
@@ -85,35 +89,6 @@ let set_state t r state =
        | _ -> [])));
   Mutex.unlock t.mutex
 
-(* --- the host cache ---------------------------------------------------- *)
-
-let instance_key ~model ~n ~alpha ~seed =
-  P.content_hash
-    (Printf.sprintf "%s;%d;%.17g;%d" (Job.model_to_string model) n alpha seed)
-
-(* Host-metric construction is the expensive part of a query (O(n²)
-   closure for graph models, O(n² d) for point sets); the daemon pays it
-   once per instance.  The cached profile is the seeded random start, so
-   cached and uncached queries answer identically. *)
-let host_and_profile t ~model ~n ~alpha ~seed =
-  let key = instance_key ~model ~n ~alpha ~seed in
-  Mutex.lock t.mutex;
-  let cached = Hashtbl.find_opt t.hosts key in
-  Mutex.unlock t.mutex;
-  match cached with
-  | Some pair ->
-    Metric.Counter.incr c_cache_hits;
-    pair
-  | None ->
-    Metric.Counter.incr c_cache_misses;
-    let rng = Gncg_util.Prng.create seed in
-    let host = Gncg_workload.Instances.random_host rng model ~n ~alpha in
-    let profile = Gncg_workload.Instances.random_profile rng host in
-    Mutex.lock t.mutex;
-    Hashtbl.replace t.hosts key (host, profile);
-    Mutex.unlock t.mutex;
-    (host, profile)
-
 (* --- job execution ----------------------------------------------------- *)
 
 let report_event_data spec (report : Gncg_workload.Sweep.run Scheduler.report) =
@@ -149,6 +124,37 @@ let progress_json (p : Batch.progress) =
       ("retries", Json.num_int p.retries);
     ]
 
+let in_process_exec t = Option.value t.exec_seam ~default:Job.execute
+
+(* The sweep execution seam for {!Batch.run}: ship the spec to a worker;
+   if the pool cannot serve (breaker open, shutdown), degrade to the
+   in-process executor — exactly the [--workers 0] path.  Crash, timeout
+   and requeue classification happens inside {!Pool.dispatch} via the
+   scheduler's escape-hatch exceptions, so the journal entries come out
+   the same whether the spec ran in a worker or in the daemon. *)
+let sweep_exec t ~budget =
+  match t.pool with
+  | None -> t.exec_seam
+  | Some pool ->
+    Some
+      (fun spec ->
+        match Pool.dispatch pool ?budget (W.Spec spec) with
+        | Some (`Run run) -> run
+        | Some (`Data _) ->
+          raise
+            (Scheduler.Crash_report
+               {
+                 msg = "worker answered a spec dispatch with query data";
+                 backtrace = "";
+               })
+        | None -> in_process_exec t spec)
+
+let sweep_domains t =
+  (* With a pool, batch concurrency is the fleet size: one scheduler
+     worker per process keeps every worker busy without queueing
+     dispatches (which would distort budget accounting). *)
+  match t.pool with Some pool -> Some (Pool.size pool) | None -> t.domains
+
 let run_sweep t r config job_budget job_retries =
   let journal = Filename.concat t.state_dir ("sweep-" ^ r.key ^ ".jsonl") in
   let budget = match job_budget with Some _ as b -> b | None -> t.budget in
@@ -157,24 +163,20 @@ let run_sweep t r config job_budget job_retries =
     | Some k, _ -> Some k
     | None, session -> session
   in
+  let exec = sweep_exec t ~budget in
+  let domains = sweep_domains t in
   let on_result spec report =
     Metric.Counter.incr c_sweep_results;
     push_event t r "job-result" (report_event_data spec report)
   in
-  let fresh () =
-    Batch.run ?domains:t.domains ?budget ?retries ?exec:t.exec_seam ~on_result ~journal
-      config
-  in
+  let fresh () = Batch.run ?domains ?budget ?retries ?exec ~on_result ~journal config in
   let summary =
     if Sys.file_exists journal then
       (* Same content key ⇒ same generating config, so the journal on
          disk is this sweep's: resume it and re-execute only what is
          missing.  A journal too torn to reload (e.g. the daemon died
          inside the manifest write) is started over. *)
-      match
-        Batch.resume ?domains:t.domains ?budget ?retries ?exec:t.exec_seam ~on_result
-          ~journal ()
-      with
+      match Batch.resume ?domains ?budget ?retries ?exec ~on_result ~journal () with
       | Ok s -> s
       | Error msg ->
         push_event t r "journal-reset"
@@ -189,61 +191,35 @@ let run_sweep t r config job_budget job_retries =
 
 let exec_of t = Gncg_util.Exec.Par { domains = t.domains }
 
-let outcome_fields = function
-  | Gncg.Dynamics.Converged { profile; rounds; _ } ->
-    (profile, [ ("converged", Json.Bool true); ("rounds", Json.num_int rounds) ])
-  | Gncg.Dynamics.Out_of_steps { profile; _ } ->
-    (profile, [ ("converged", Json.Bool false) ])
-  | Gncg.Dynamics.Cycle { profiles; _ } ->
-    (List.hd profiles, [ ("converged", Json.Bool false); ("cycle", Json.Bool true) ])
+let query_event_name = function
+  | P.Eq_check _ -> "verdict"
+  | P.Best_response _ -> "best-response"
+  | P.Sweep _ -> invalid_arg "Session.query_event_name: not a query"
 
-let run_eq_check t r ~model ~n ~alpha ~seed ~check ~stabilize =
-  let host, profile = host_and_profile t ~model ~n ~alpha ~seed in
-  let profile, dyn_fields =
-    if stabilize then
-      outcome_fields
-        (Gncg.Dynamics.run
-           (Gncg.Dynamics.Config.make ~max_steps:5000 ~evaluator:`Incremental
-              Gncg.Dynamics.Greedy_response Gncg.Dynamics.Round_robin)
-           host profile)
-    else (profile, [])
+(* Queries ship whole to a worker (each worker keeps its own host
+   cache); without a pool — or with the breaker open — they evaluate
+   in-process against the session cache, through the very same
+   {!Worker.eval_query}. *)
+let run_query t r job =
+  let name = query_event_name job in
+  let data =
+    match t.pool with
+    | Some pool -> (
+      match Pool.dispatch pool (W.Query job) with
+      | Some (`Data data) -> data
+      | Some (`Run _) ->
+        raise
+          (Scheduler.Crash_report
+             { msg = "worker answered a query dispatch with a sweep run"; backtrace = "" })
+      | None -> snd (Worker.eval_query ~exec:(exec_of t) t.cache job))
+    | None -> snd (Worker.eval_query ~exec:(exec_of t) t.cache job)
   in
-  let holds = Gncg.Equilibrium.is_equilibrium ~exec:(exec_of t) check host profile in
-  push_event t r "verdict"
-    (Json.Obj
-       ([
-          ("check", Json.Str (P.check_to_string check));
-          ("holds", Json.Bool holds);
-          ("n", Json.num_int n);
-          ("alpha", Json.Num alpha);
-          ("seed", Json.num_int seed);
-          ("stabilized", Json.Bool stabilize);
-          ("social_cost", Json.Num (Gncg.Cost.social_cost host profile));
-        ]
-       @ dyn_fields))
-
-let run_best_response t r ~model ~n ~alpha ~seed ~agent =
-  let host, profile = host_and_profile t ~model ~n ~alpha ~seed in
-  let current = Gncg.Cost.agent_cost host profile agent in
-  let _, exact = Gncg.Best_response.exact host profile agent in
-  let _, local = Gncg.Best_response.local host profile agent in
-  push_event t r "best-response"
-    (Json.Obj
-       [
-         ("agent", Json.num_int agent);
-         ("current", Json.Num current);
-         ("exact", Json.Num exact);
-         ("local", Json.Num local);
-         ("improvable", Json.Bool (exact < current -. 1e-9));
-       ])
+  push_event t r name data
 
 let execute t r =
   match r.job with
   | P.Sweep { config; budget; retries } -> run_sweep t r config budget retries
-  | P.Eq_check { model; n; alpha; seed; check; stabilize } ->
-    run_eq_check t r ~model ~n ~alpha ~seed ~check ~stabilize
-  | P.Best_response { model; n; alpha; seed; agent } ->
-    run_best_response t r ~model ~n ~alpha ~seed ~agent
+  | (P.Eq_check _ | P.Best_response _) as job -> run_query t r job
 
 let executor_loop t =
   let rec loop () =
@@ -252,8 +228,10 @@ let executor_loop t =
       Condition.wait t.cond t.mutex
     done;
     if Queue.is_empty t.queue then begin
-      (* Draining and dry: the executor's last act. *)
-      t.stopped <- true;
+      (* Draining and dry: the last executor out marks the session
+         stopped. *)
+      t.live_executors <- t.live_executors - 1;
+      if t.live_executors = 0 then t.stopped <- true;
       Condition.broadcast t.cond;
       Mutex.unlock t.mutex
     end
@@ -266,7 +244,7 @@ let executor_loop t =
         loop ()
       end
       else begin
-        t.running <- Some id;
+        t.running <- id :: t.running;
         Mutex.unlock t.mutex;
         set_state t r P.Running;
         (match
@@ -282,12 +260,20 @@ let executor_loop t =
           Metric.Counter.incr c_failed;
           let msg =
             match exn with
+            | Scheduler.Crash_report c ->
+              (* Keep the worker-side frames: [gncg client status] shows
+                 them even when no watcher saw the job die. *)
+              Mutex.lock t.mutex;
+              r.crash <- Some c;
+              Mutex.unlock t.mutex;
+              c.Scheduler.msg
+            | Scheduler.Over_budget -> "job exceeded its wall-clock budget"
             | E.Error e -> E.to_string e
             | exn -> Printexc.to_string exn
           in
           set_state t r (P.Failed msg));
         Mutex.lock t.mutex;
-        t.running <- None;
+        t.running <- List.filter (fun running_id -> running_id <> id) t.running;
         Condition.broadcast t.cond;
         Mutex.unlock t.mutex;
         loop ()
@@ -310,7 +296,8 @@ let sink_event_to_json (e : Gncg_obs.Sink.event) =
     @ List.map (fun (k, v) -> (k, sink_value_to_json v)) e.fields)
 
 (* Engine trace events are relayed onto the stream of whatever job is
-   running when they fire; events between jobs are dropped.  The
+   running when they fire; events between jobs — or while several jobs
+   run at once and attribution would be a guess — are dropped.  The
    callback runs on arbitrary engine domains — it only takes the
    session mutex, which no caller holds across engine work. *)
 let install_trace_stream t =
@@ -319,11 +306,11 @@ let install_trace_stream t =
        (Gncg_obs.Sink.callback (fun e ->
             Mutex.lock t.mutex;
             (match t.running with
-            | Some id -> (
+            | [ id ] -> (
               match Hashtbl.find_opt t.jobs id with
               | Some r -> push_event_locked t r "obs" (sink_event_to_json e)
               | None -> ())
-            | None -> ());
+            | _ -> ());
             Mutex.unlock t.mutex)))
 
 (* --- public api -------------------------------------------------------- *)
@@ -331,8 +318,26 @@ let install_trace_stream t =
 type submitted = { job_id : string; attached : bool }
 
 let create ?(state_dir = "gncg-serve-state") ?domains ?budget ?retries
-    ?(trace_stream = false) ?exec_seam () =
+    ?(trace_stream = false) ?exec_seam ?(workers = 0) ?pool_spawn ?pool_config () =
   mkdir_p state_dir;
+  let pool =
+    if workers <= 0 then None
+    else begin
+      let config =
+        match pool_config with
+        | Some c -> { c with Pool.workers }
+        | None -> { Pool.default_config with Pool.workers }
+      in
+      let spawn =
+        match pool_spawn with Some s -> s | None -> Pool.spawn_forked ()
+      in
+      Some (Pool.create ~config ~spawn ())
+    end
+  in
+  (* One executor per worker keeps the fleet busy (a query occupies one
+     worker end to end); without a pool, execution is single-file as
+     before. *)
+  let executors = match pool with Some p -> Pool.size p | None -> 1 in
   let t =
     {
       mutex = Mutex.create ();
@@ -343,20 +348,22 @@ let create ?(state_dir = "gncg-serve-state") ?domains ?budget ?retries
       retries;
       trace_stream;
       exec_seam;
+      pool;
       jobs = Hashtbl.create 64;
       by_key = Hashtbl.create 64;
       queue = Queue.create ();
-      hosts = Hashtbl.create 64;
+      cache = Worker.Cache.create ();
       next_id = 1;
-      running = None;
+      running = [];
+      live_executors = executors;
       draining = false;
       stopped = false;
-      executor = None;
+      executors = [];
       started_at = Unix.gettimeofday ();
     }
   in
   if trace_stream then install_trace_stream t;
-  t.executor <- Some (Thread.create executor_loop t);
+  t.executors <- List.init executors (fun _ -> Thread.create executor_loop t);
   t
 
 let validate_job job =
@@ -400,6 +407,7 @@ let submit t job =
               key;
               job;
               state = P.Queued;
+              crash = None;
               events = [];
               n_events = 0;
               csv = None;
@@ -473,7 +481,15 @@ let job_json r =
        ("events", Json.num_int r.n_events);
        ("csv_available", Json.Bool (r.csv <> None));
      ]
-    @ (match r.state with P.Failed msg -> [ ("error", Json.Str msg) ] | _ -> []))
+    @ (match r.state with P.Failed msg -> [ ("error", Json.Str msg) ] | _ -> [])
+    @
+    match r.crash with
+    | Some { Scheduler.msg; backtrace } ->
+      [
+        ( "crash",
+          Json.Obj [ ("msg", Json.Str msg); ("backtrace", Json.Str backtrace) ] );
+      ]
+    | None -> [])
 
 let status_json t which =
   Mutex.lock t.mutex;
@@ -492,10 +508,14 @@ let status_json t which =
              ("uptime_s", Json.Num (Unix.gettimeofday () -. t.started_at));
              ("jobs", Json.List jobs);
              ("queued", Json.num_int (Queue.length t.queue));
-             ("running",
-              (match t.running with Some id -> Json.Str id | None -> Json.Null));
-             ("hosts_cached", Json.num_int (Hashtbl.length t.hosts));
+             ( "running",
+               Json.List (List.map (fun id -> Json.Str id) (List.rev t.running)) );
+             ("hosts_cached", Json.num_int (Worker.Cache.size t.cache));
              ("draining", Json.Bool t.draining);
+             ( "pool",
+               match t.pool with
+               | Some pool -> Pool.status_json pool
+               | None -> Json.Null );
            ])
   in
   Mutex.unlock t.mutex;
@@ -527,15 +547,16 @@ let drain t =
   Mutex.lock t.mutex;
   t.draining <- true;
   Condition.broadcast t.cond;
-  let executor = t.executor in
-  t.executor <- None;
+  let executors = t.executors in
+  t.executors <- [];
   Mutex.unlock t.mutex;
-  Option.iter Thread.join executor
+  List.iter Thread.join executors;
+  Option.iter Pool.shutdown t.pool
 
-let hosts_cached t =
-  Mutex.lock t.mutex;
-  let n = Hashtbl.length t.hosts in
-  Mutex.unlock t.mutex;
-  n
+let pool_status t = Option.map Pool.status_json t.pool
+
+let workers t = match t.pool with Some pool -> Pool.size pool | None -> 0
+
+let hosts_cached t = Worker.Cache.size t.cache
 
 let uptime t = Unix.gettimeofday () -. t.started_at

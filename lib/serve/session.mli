@@ -1,7 +1,8 @@
-(** The daemon's session manager: job table, executor, host cache.
+(** The daemon's session manager: job table, executors, host cache.
 
     One session outlives every connection.  Submissions land in a FIFO
-    queue consumed by a single background executor thread; each job's
+    queue consumed by background executor threads — one without a
+    worker pool, one per worker with one ([workers > 0]); each job's
     progress is published as an append-only event stream that any number
     of watchers (connection threads) replay and follow concurrently.
     Sweep jobs run through {!Gncg_runs.Batch} with a journal under the
@@ -11,11 +12,19 @@
     crash-tolerance story is exactly the one the runs subsystem already
     proves under chaos testing.
 
+    With [workers > 0] execution is crash-isolated: sweeps are
+    dispatched spec by spec and queries whole to a supervised {!Pool} of
+    worker processes.  The journal never leaves the daemon, so a
+    [kill -9]'d worker costs a requeue, not data; when the pool cannot
+    serve (circuit breaker open, shutdown) jobs degrade transparently to
+    the in-process path below.
+
     Query jobs (equilibrium checks, best-response probes) are served
     from a host cache keyed by the instance's content hash: repeated
     queries against the same (model, n, alpha, seed) skip host-metric
     construction entirely, which is what makes the daemon cheaper than
-    one CLI process per query.
+    one CLI process per query.  In-process queries share the session
+    cache; each pool worker keeps its own.
 
     Thread-safety: every public function may be called from any number
     of connection threads. *)
@@ -37,9 +46,12 @@ val create :
   ?retries:int ->
   ?trace_stream:bool ->
   ?exec_seam:(Gncg_runs.Job.spec -> Gncg_workload.Sweep.run) ->
+  ?workers:int ->
+  ?pool_spawn:Pool.spawn ->
+  ?pool_config:Pool.config ->
   unit ->
   t
-(** Starts the executor thread.  [state_dir] (default
+(** Starts the executor threads.  [state_dir] (default
     ["gncg-serve-state"], created if missing) holds the sweep journals.
     [domains]/[budget]/[retries] are the sweep defaults a job's own
     fields override.  [trace_stream] installs a streaming observability
@@ -47,7 +59,17 @@ val create :
     ["obs"] events on the running job's stream (for [watch ~trace]).
     [exec_seam] is the per-sweep-job fault-injection seam
     ({!Gncg_runs.Batch.run}'s [?exec]); production callers never pass
-    it — the chaos tests do. *)
+    it — the chaos tests do.  With a pool it is also the degraded
+    in-process executor.
+
+    [workers] (default 0: no pool, single in-process executor) starts a
+    supervised {!Pool} of that many worker processes, launched by
+    [pool_spawn] (default {!Pool.spawn_forked}[ ()]; the CLI passes
+    {!Pool.spawn_exec} to re-execute itself as [gncg worker] — prefer
+    that whenever a binary is available, since fork-based respawn is
+    unavailable while scheduler domains run, see {!Pool.spawn_forked})
+    and supervised per [pool_config] (default {!Pool.default_config};
+    its [workers] field is overridden by [workers]). *)
 
 val submit : t -> Protocol.job -> (submitted, Gncg_util.Gncg_error.t) result
 (** Validates, dedups by content key, enqueues.  Refused with [Io] when
@@ -67,8 +89,10 @@ val fetch_csv : t -> string -> (string, Gncg_util.Gncg_error.t) result
     Refused for query jobs and non-[Done] jobs. *)
 
 val status_json : t -> string option -> (Protocol.Json.t, Gncg_util.Gncg_error.t) result
-(** One job, or the whole table plus daemon gauges (uptime, cache
-    size, queue length). *)
+(** One job, or the whole table plus daemon gauges (uptime, cache size,
+    queue length, per-worker pool liveness under ["pool"]).  A job that
+    died inside a worker carries a ["crash"] object with the worker-side
+    message and backtrace frames, even if no watcher saw it fail. *)
 
 val events_after :
   t ->
@@ -81,8 +105,14 @@ val events_after :
 
 val drain : t -> unit
 (** Graceful shutdown: refuse new submissions, run the queue dry, stop
-    the executor, and wake every blocked watcher.  Idempotent; returns
-    once the executor has exited. *)
+    every executor, shut the worker pool down, and wake every blocked
+    watcher.  Idempotent; returns once the executors have exited. *)
+
+val pool_status : t -> Protocol.Json.t option
+(** {!Pool.status_json} when a pool is running, [None] otherwise. *)
+
+val workers : t -> int
+(** Configured pool size; 0 without a pool. *)
 
 val hosts_cached : t -> int
 

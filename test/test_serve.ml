@@ -11,11 +11,13 @@ module P = Gncg_serve.Protocol
 module Session = Gncg_serve.Session
 module Server = Gncg_serve.Server
 module Client = Gncg_serve.Client
+module Pool = Gncg_serve.Pool
 module Json = Gncg_runs.Json
 module Job = Gncg_runs.Job
 module Batch = Gncg_runs.Batch
 module Chaos = Gncg_runs.Chaos
 module E = Gncg_util.Gncg_error
+module Metric = Gncg_obs.Metric
 
 let model = Gncg_workload.Instances.Euclid { norm = L2; d = 2; box = 100.0 }
 
@@ -433,6 +435,188 @@ let test_torn_journal_resume () =
     csv;
   Session.drain session
 
+(* --- the worker pool --------------------------------------------------- *)
+
+(* Process-level supervision under deterministic chaos: the worker-side
+   fault oracle keys on (payload key, supervisor-tracked attempt), so a
+   "kill the worker on the first attempt of every job" script converges
+   after exactly one requeue per job — no racing external signals.
+
+   Workers are spawned by exec'ing the real gncg binary with --chaos-*
+   flags, not by forking a closure: OCaml 5 forbids [Unix.fork] while
+   other domains are running, and respawns happen mid-sweep with the
+   scheduler's domains live.  [Unix.create_process] has no such
+   restriction, and the chaos oracle is pure in (seed, key, attempt), so
+   the flag-built plan decides identically to an in-process one. *)
+
+let gncg_exe =
+  (* main.exe lives at _build/default/test/; the CLI two doors down. *)
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "gncg_cli.exe")
+
+let chaos_spawn ?(kill_p = 0.0) ?(hang_p = 0.0) ?(hang_s = 5.0) ?(fault_attempts = 1)
+    ~seed () =
+  Pool.spawn_exec
+    [|
+      gncg_exe; "worker";
+      "--chaos-kill-p"; string_of_float kill_p;
+      "--chaos-hang-p"; string_of_float hang_p;
+      "--chaos-hang-s"; string_of_float hang_s;
+      "--chaos-fault-attempts"; string_of_int fault_attempts;
+      "--chaos-seed"; string_of_int seed;
+    |]
+
+let with_metrics f =
+  let was = Metric.enabled () in
+  Metric.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metric.set_enabled was) f
+
+let counter name = Metric.Counter.make ("serve.pool." ^ name)
+
+let jbool key j =
+  match Result.bind (Json.member key j) Json.get_bool with
+  | Ok b -> b
+  | Error m -> Alcotest.failf "field %S: %s" key m
+
+let test_pool_kill_requeue () =
+  with_metrics (fun () ->
+      let requeues0 = Metric.Counter.value (counter "requeues") in
+      let restarts0 = Metric.Counter.value (counter "restarts") in
+      (* Every spec's first dispatch SIGKILLs its worker mid-job. *)
+      let session =
+        Session.create ~state_dir:(tmp_dir ()) ~workers:2
+          ~pool_spawn:(chaos_spawn ~kill_p:1.0 ~fault_attempts:1 ~seed:11 ())
+          ~pool_config:{ Pool.default_config with Pool.breaker_threshold = 1000 }
+          ()
+      in
+      let id, events = submit_and_finish session sweep_job in
+      let summary = find_event "summary" events in
+      Alcotest.(check int) "every job completed" 8 (jint "completed" summary);
+      Alcotest.(check int) "no crash surfaced" 0 (jint "crashed" summary);
+      check_true "job is done" (ok_exn "state" (Session.job_state session id) = P.Done);
+      (* Each of the 8 specs cost one requeue and one worker restart. *)
+      check_true "requeues counted"
+        (Metric.Counter.value (counter "requeues") - requeues0 >= 8);
+      check_true "restarts counted"
+        (Metric.Counter.value (counter "restarts") - restarts0 >= 8);
+      let csv = ok_exn "fetch_csv" (Session.fetch_csv session id) in
+      let direct = Batch.run ~domains:2 small_config in
+      Alcotest.(check string)
+        "csv after 8 mid-job worker kills is byte-identical"
+        (Gncg_workload.Report.runs_to_csv direct.Batch.runs)
+        csv;
+      Session.drain session)
+
+let test_pool_hang_times_out () =
+  with_metrics (fun () ->
+      (* The one spec hangs its worker far beyond the job budget; the
+         supervisor must SIGKILL at the deadline and the scheduler must
+         classify the job [Timeout] — same verdict as an in-process
+         overrun, minutes earlier than the hang. *)
+      let config =
+        Batch.config ~max_steps:4000 model ~ns:[ 4 ] ~alphas:[ 1.5 ] ~seeds:[ 1 ]
+      in
+      let session =
+        Session.create ~state_dir:(tmp_dir ()) ~workers:1
+          ~pool_spawn:(chaos_spawn ~hang_p:1.0 ~hang_s:30.0 ~fault_attempts:1 ~seed:7 ())
+          ~pool_config:{ Pool.default_config with Pool.breaker_threshold = 1000 }
+          ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let id, events =
+        submit_and_finish session
+          (P.Sweep { config; budget = Some 0.3; retries = None })
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      let summary = find_event "summary" events in
+      Alcotest.(check int) "the hung job timed out" 1 (jint "timeout" summary);
+      Alcotest.(check int) "nothing completed" 0 (jint "completed" summary);
+      check_true "sweep itself is done"
+        (ok_exn "state" (Session.job_state session id) = P.Done);
+      check_true
+        (Printf.sprintf "SIGKILL at the deadline, not after the hang (%.1fs)" elapsed)
+        (elapsed < 10.0);
+      Session.drain session)
+
+let test_pool_breaker_degrades () =
+  with_metrics (fun () ->
+      let trips0 = Metric.Counter.value (counter "breaker_trips") in
+      let degraded0 = Metric.Counter.value (counter "degraded_jobs") in
+      (* Kill on EVERY attempt: a restart storm no requeue can outrun.
+         The breaker must trip and the session must finish the sweep
+         in-process. *)
+      let session =
+        Session.create ~state_dir:(tmp_dir ()) ~workers:1
+          ~pool_spawn:(chaos_spawn ~kill_p:1.0 ~fault_attempts:1_000 ~seed:3 ())
+          ~pool_config:
+            {
+              Pool.default_config with
+              Pool.breaker_threshold = 3;
+              breaker_window = 60.0;
+              max_requeues = 50;
+              backoff_base = 0.01;
+            }
+          ()
+      in
+      let id, events = submit_and_finish session sweep_job in
+      let summary = find_event "summary" events in
+      Alcotest.(check int)
+        "every job completed despite the dead pool" 8 (jint "completed" summary);
+      check_true "job is done" (ok_exn "state" (Session.job_state session id) = P.Done);
+      check_true "breaker tripped"
+        (Metric.Counter.value (counter "breaker_trips") - trips0 >= 1);
+      check_true "degraded jobs counted"
+        (Metric.Counter.value (counter "degraded_jobs") - degraded0 >= 1);
+      (match Session.pool_status session with
+      | Some status -> check_true "status shows the open breaker" (jbool "breaker_open" status)
+      | None -> Alcotest.fail "session has a pool");
+      (* Queries degrade too: answered in-process, against the session
+         cache. *)
+      let _, qevents = submit_and_finish session (eq_job ~seed:1) in
+      ignore (find_event "verdict" qevents);
+      Alcotest.(check int) "degraded query hit the session cache" 1
+        (Session.hosts_cached session);
+      Session.drain session)
+
+let test_pool_crash_frames_in_status () =
+  with_metrics (fun () ->
+      (* A worker that dies on every attempt exhausts its requeues; the
+         job fails with the supervisor's crash record, and `client
+         status` must show it even though no watcher saw the job die. *)
+      let session =
+        Session.create ~state_dir:(tmp_dir ()) ~workers:1
+          ~pool_spawn:(chaos_spawn ~kill_p:1.0 ~fault_attempts:1_000 ~seed:5 ())
+          ~pool_config:
+            {
+              Pool.default_config with
+              Pool.breaker_threshold = 1000;
+              max_requeues = 1;
+              backoff_base = 0.01;
+            }
+          ()
+      in
+      let { Session.job_id = id; _ } =
+        ok_exn "submit" (Session.submit session (eq_job ~seed:9))
+      in
+      let (_ : P.event list) = collect_events session id in
+      (match ok_exn "state" (Session.job_state session id) with
+      | P.Failed msg -> check_true "failure names the dead worker" (contains msg "died")
+      | s -> Alcotest.failf "expected Failed, got %s" (P.job_state_string s));
+      let status = ok_exn "status" (Session.status_json session (Some id)) in
+      let crash =
+        match Json.member "crash" status with
+        | Ok c -> c
+        | Error m -> Alcotest.failf "status has no crash record: %s" m
+      in
+      check_true "crash message preserved"
+        (contains
+           (Result.get_ok (Result.bind (Json.member "msg" crash) Json.get_string))
+           "died mid-job");
+      check_true "crash record has a backtrace field"
+        (Result.is_ok (Json.member "backtrace" crash));
+      Session.drain session)
+
 (* --- stdio transport --------------------------------------------------- *)
 
 let with_stdio_client f =
@@ -524,6 +708,13 @@ let suites =
       [
         slow_case "chaos-crashed workers retried" test_chaos_crashed_workers;
         slow_case "torn journal resumed" test_torn_journal_resume;
+      ] );
+    ( "serve-pool",
+      [
+        slow_case "killed worker requeued, csv byte-identical" test_pool_kill_requeue;
+        slow_case "hung worker killed at the budget deadline" test_pool_hang_times_out;
+        slow_case "restart storm trips the breaker, jobs degrade" test_pool_breaker_degrades;
+        slow_case "crash frames surface in status" test_pool_crash_frames_in_status;
       ] );
     ( "serve-stdio",
       [ slow_case "full protocol over channels" test_stdio_end_to_end ] );

@@ -18,6 +18,10 @@
 #    sprawl the Config redesign removed must not grow back.  The
 #    unfenced `val run :` declaration in lib/core/dynamics.mli may not
 #    mention optional arguments; new knobs belong in `Config.t`.
+#
+# 3. The `run_legacy` shim (the pre-Config signature, kept for one
+#    release after the PR 8 redesign) is deleted and must not return —
+#    fenced or not.
 set -u
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -79,6 +83,15 @@ fi
 if printf '%s\n' "$run_decl" | grep -q '?'; then
   printf '%s\n' "$run_decl"
   echo "check_parallel_twins: Dynamics.run grew optional arguments back — put new knobs in Dynamics.Config.t" >&2
+  exit 1
+fi
+
+# run_legacy is gone for good: reject any resurrection, even fenced —
+# its one-release grace period ended when it was deleted.
+legacy="$(grep -rn 'run_legacy' lib bin bench test 2>/dev/null || true)"
+if [ -n "$legacy" ]; then
+  printf '%s\n' "$legacy"
+  echo "check_parallel_twins: Dynamics.run_legacy is deleted — migrate to Dynamics.run with a Dynamics.Config.t (README migration table)" >&2
   exit 1
 fi
 
